@@ -1,0 +1,52 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper, prints the
+rows, and writes them to ``results/<id>.txt``.  Scale knobs:
+
+* ``REPRO_BENCH_N`` — dynamic instructions per simulation (default 24000).
+* ``REPRO_BENCH_APPS`` — comma-separated app subset (default: all 12).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.workloads import APP_NAMES
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_n(default: int = 24_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_N", default))
+
+
+def bench_apps(limit: int = None):
+    raw = os.environ.get("REPRO_BENCH_APPS")
+    apps = tuple(raw.split(",")) if raw else APP_NAMES
+    return apps[:limit] if limit else apps
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment under pytest-benchmark and persist its table."""
+
+    def runner(exp_id: str, **kwargs):
+        experiment = get_experiment(exp_id)
+        result = benchmark.pedantic(
+            lambda: experiment.run(**kwargs), rounds=1, iterations=1
+        )
+        text = result.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return result
+
+    return runner

@@ -1,0 +1,9 @@
+"""A3 — IRB lookup-latency sensitivity."""
+
+from conftest import bench_apps, bench_n
+
+
+def test_a3_latency_sweep(run_experiment):
+    result = run_experiment("A3", apps=bench_apps(6), n_insts=bench_n(16_000))
+    lats = result.latencies
+    assert result.mean_loss(lats[-1]) >= result.mean_loss(lats[0]) - 0.5

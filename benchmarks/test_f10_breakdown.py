@@ -1,0 +1,10 @@
+"""F10 — duplicate-stream service breakdown."""
+
+from conftest import bench_apps, bench_n
+
+
+def test_f10_duplicate_breakdown(run_experiment):
+    result = run_experiment("F10", apps=bench_apps(), n_insts=bench_n())
+    for row in result.entries:
+        # The IRB must shed ALU work, not add it.
+        assert row.die_irb_alu_util <= row.die_alu_util + 0.02

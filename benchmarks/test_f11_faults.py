@@ -1,0 +1,14 @@
+"""F11 — fault-injection coverage (Section 3.4)."""
+
+from repro.redundancy import EXEC_DUP, EXEC_PRIMARY, FORWARD_BOTH
+
+from conftest import bench_n
+
+
+def test_f11_fault_coverage(run_experiment):
+    result = run_experiment(
+        "F11", apps=("gzip", "gcc"), n_insts=bench_n(12_000), faults_per_kind=4
+    )
+    assert result.cells[EXEC_PRIMARY].coverage == 1.0
+    assert result.cells[EXEC_DUP].coverage == 1.0
+    assert result.cells[FORWARD_BOTH].detected == 0  # the conceded escape

@@ -1,0 +1,12 @@
+"""F7 — IRB size sweep."""
+
+from conftest import bench_apps, bench_n
+
+
+def test_f7_irb_size_sweep(run_experiment):
+    result = run_experiment(
+        "F7", apps=bench_apps(6), n_insts=bench_n(16_000)
+    )
+    sizes = result.sizes
+    # Bigger IRBs never reuse less (modulo small-sample noise).
+    assert result.mean_reuse(sizes[-1]) >= result.mean_reuse(sizes[0]) - 0.01

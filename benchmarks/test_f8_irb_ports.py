@@ -1,0 +1,10 @@
+"""F8 — IRB read-port sweep."""
+
+from conftest import bench_apps, bench_n
+
+
+def test_f8_irb_port_sweep(run_experiment):
+    result = run_experiment(
+        "F8", apps=bench_apps(6), n_insts=bench_n(16_000)
+    )
+    assert result.mean_starved(result.ports[-1]) <= result.mean_starved(result.ports[0])

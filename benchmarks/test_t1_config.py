@@ -1,0 +1,8 @@
+"""T1 — machine configuration table."""
+
+from conftest import bench_apps, bench_n
+
+
+def test_t1_machine_configuration(run_experiment):
+    result = run_experiment("T1")
+    assert "RUU / LSQ" in result.render()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Building and evaluating a custom workload profile.
+
+The 12 shipped profiles model SPEC2000, but the generator is a general
+tool: this example defines a new application class — a checksum-style
+streaming kernel with heavy loop-carried state and almost no reusable
+values — and shows how the DIE penalty and the IRB's usefulness respond.
+
+Usage::
+
+    python examples/custom_workload.py [n_insts]
+"""
+
+import sys
+
+from repro import ipc_loss_pct, simulate
+from repro.workloads import WorkloadProfile, execute_program, generate_program
+
+
+def checksum_profile() -> WorkloadProfile:
+    """A worst case for instruction reuse: everything is an accumulator."""
+    return WorkloadProfile(
+        name="checksum",
+        mix={"int_alu": 0.62, "load": 0.20, "store": 0.04, "branch": 0.14},
+        dep_distance=2.0,
+        accum_frac=0.75,  # nearly all ALU work is loop-carried state
+        pure_frac=0.05,  # almost nothing repeats
+        fixed_load_frac=0.05,
+        invariant_frac=0.10,
+        induction_frac=0.10,
+        value_entropy=4096,  # high-entropy data
+        working_set_kb=64,
+        branch_noise=0.10,
+        num_kernels=4,
+        body_size=24,
+        trip_count=128,
+    )
+
+
+def table_driven_profile() -> WorkloadProfile:
+    """A best case: table-driven decode, rich in repeated slices."""
+    return WorkloadProfile(
+        name="decoder",
+        mix={"int_alu": 0.52, "load": 0.28, "store": 0.06, "branch": 0.14},
+        dep_distance=4.0,
+        accum_frac=0.15,
+        pure_frac=0.55,
+        fixed_load_frac=0.60,
+        invariant_frac=0.35,
+        induction_frac=0.04,
+        value_entropy=8,
+        working_set_kb=32,
+        branch_noise=0.10,
+        table_frac=0.60,
+        table_window_words=16,
+        num_kernels=10,
+        body_size=20,
+        trip_count=32,
+    )
+
+
+def evaluate(profile: WorkloadProfile, n_insts: int) -> None:
+    program = generate_program(profile, seed=1)
+    trace = execute_program(program, n_insts)
+    sie = simulate(trace, "sie")
+    die = simulate(trace, "die")
+    irb = simulate(trace, "die-irb")
+    recovered = (
+        (irb.ipc - die.ipc) / (sie.ipc - die.ipc) if sie.ipc > die.ipc else 0.0
+    )
+    print(f"{profile.name:10s} SIE {sie.ipc:5.2f}  "
+          f"DIE loss {ipc_loss_pct(sie.ipc, die.ipc):5.1f}%  "
+          f"reuse {irb.stats.irb_reuse_rate:4.0%}  "
+          f"IRB recovers {recovered:4.0%} of the penalty")
+
+
+def main() -> None:
+    n_insts = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    print("Two custom application classes under temporal redundancy:\n")
+    evaluate(checksum_profile(), n_insts)
+    evaluate(table_driven_profile(), n_insts)
+    print(
+        "\nThe IRB's value tracks the workload's *consecutive value "
+        "repetition*: loop-carried\nchecksum state defeats it; table-driven "
+        "decoding feeds it."
+    )
+
+
+if __name__ == "__main__":
+    main()

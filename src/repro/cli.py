@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available workloads, models and experiments.
+* ``run`` — simulate one workload on one model, print the statistics.
+* ``compare`` — SIE vs DIE vs DIE-IRB side by side on one workload.
+* ``experiment`` — regenerate one paper table/figure by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import MachineConfig
+from .experiments import EXPERIMENTS, get_experiment
+from .isa import FUClass
+from .simulation import MODELS, format_table, ipc_loss_pct, run_workload
+from .workloads import APP_NAMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DIE-IRB reproduction: instruction-level temporal redundancy "
+            "with an instruction reuse buffer (ISCA 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, models and experiments")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", choices=APP_NAMES)
+    run.add_argument("--model", choices=sorted(MODELS), default="sie")
+    run.add_argument("--n", type=int, default=40_000, help="dynamic instructions")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scale-alu", type=int, default=1, metavar="K")
+    run.add_argument("--scale-ruu", type=int, default=1, metavar="K")
+    run.add_argument("--scale-widths", type=int, default=1, metavar="K")
+    run.add_argument("--no-warmup", action="store_true")
+    run.add_argument("--json", action="store_true", help="emit raw statistics as JSON")
+
+    compare = sub.add_parser("compare", help="SIE vs DIE vs DIE-IRB")
+    compare.add_argument("workload", choices=APP_NAMES)
+    compare.add_argument("--n", type=int, default=40_000)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument(
+        "--models",
+        default="sie,die,die-irb",
+        help=f"comma-separated subset of: {', '.join(sorted(MODELS))}",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp.add_argument("id", help=f"one of {', '.join(EXPERIMENTS)}")
+    exp.add_argument("--apps", default=None, help="comma-separated subset")
+    exp.add_argument("--n", type=int, default=None, help="instructions per run")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:", ", ".join(APP_NAMES))
+    print("models:   ", ", ".join(sorted(MODELS)))
+    print("experiments:")
+    for exp in EXPERIMENTS.values():
+        tag = " (reconstructed)" if exp.reconstructed else ""
+        print(f"  {exp.id:4s} {exp.title}{tag}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = MachineConfig.baseline().scaled(
+        alu=args.scale_alu, ruu=args.scale_ruu, widths=args.scale_widths
+    )
+    result = run_workload(
+        args.workload,
+        model=args.model,
+        n_insts=args.n,
+        seed=args.seed,
+        config=config,
+        warmup=not args.no_warmup,
+    )
+    stats = result.stats
+    if args.json:
+        import json
+
+        print(json.dumps(stats.to_dict(), indent=2, default=str))
+        return 0
+    print(f"{args.workload} on {args.model.upper()} ({args.n} instructions)")
+    print(f"  IPC:              {stats.ipc:.3f}")
+    print(f"  cycles:           {stats.cycles}")
+    print(f"  mispredict rate:  {stats.mispredict_rate:.3f}")
+    alu_util = stats.fu_utilization(FUClass.INT_ALU, config.int_alu)
+    print(f"  int-ALU util:     {alu_util:.2f}")
+    if stats.irb_lookups:
+        print(f"  IRB PC-hit rate:  {stats.irb_pc_hit_rate:.2f}")
+        print(f"  IRB reuse rate:   {stats.irb_reuse_rate:.2f}")
+    if stats.pairs_checked:
+        print(f"  pairs checked:    {stats.pairs_checked}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"unknown models: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if "sie" not in models:
+        models.insert(0, "sie")  # the loss baseline
+    rows = []
+    baseline_ipc: Optional[float] = None
+    for model in models:
+        result = run_workload(args.workload, model=model, n_insts=args.n, seed=args.seed)
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        rows.append(
+            (
+                model.upper(),
+                result.ipc,
+                ipc_loss_pct(baseline_ipc, result.ipc),
+                result.stats.irb_reuse_rate,
+            )
+        )
+    print(
+        format_table(
+            ["model", "IPC", "loss% vs SIE", "reuse"],
+            rows,
+            title=f"{args.workload} ({args.n} instructions)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(args.id)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.apps:
+        kwargs["apps"] = tuple(args.apps.split(","))
+    if args.n:
+        kwargs["n_insts"] = args.n
+    result = experiment.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

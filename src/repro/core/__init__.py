@@ -1,0 +1,18 @@
+"""The out-of-order core: configuration, pipeline and statistics."""
+
+from .config import MachineConfig
+from .dyninst import DUPLICATE, PRIMARY, DynInst
+from .fu import FUPool
+from .pipeline import DeadlockError, OOOPipeline
+from .stats import SimStats
+
+__all__ = [
+    "DUPLICATE",
+    "DeadlockError",
+    "DynInst",
+    "FUPool",
+    "MachineConfig",
+    "OOOPipeline",
+    "PRIMARY",
+    "SimStats",
+]

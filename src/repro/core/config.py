@@ -1,0 +1,130 @@
+"""Machine configuration for the out-of-order core.
+
+The baseline mirrors the paper's Section 2.2 / Section 4 machine: an
+8-wide machine with a 128-entry RUU (unified ROB + issue window, as in
+SimpleScalar), a 64-entry load/store queue, and an ALU complement of
+4 integer adders, 2 integer multiply/dividers, 2 FP adders and 1 FP
+multiply/divide/square-root unit.
+
+Figure 2's seven scaled configurations are produced by :meth:`scaled`,
+e.g. ``MachineConfig.baseline().scaled(alu=2, ruu=2, widths=2)`` is
+DIE-2xALU-2xRUU-2xWidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..isa import FUClass
+from ..memory import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All core parameters.
+
+    Attributes:
+        fetch_width / decode_width / issue_width / commit_width: per-cycle
+            stage bandwidths ("widths" in the paper's 2xWidths configs).
+        ruu_size: unified ROB/issue-window capacity.
+        lsq_size: load/store queue capacity.
+        int_alu / int_muldiv / fp_add / fp_muldiv: FU counts per class.
+        cache_ports: D-cache access starts per cycle.
+        frontend_latency: fetch-to-dispatch depth in cycles.
+        mispredict_penalty: extra cycles after branch resolution before
+            fetch resumes on the correct path.
+        predictor: direction predictor kind ("hybrid", "gshare", ...).
+        ras_depth: return address stack depth.
+        hierarchy: memory hierarchy parameters.
+    """
+
+    fetch_width: int = 8
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    ruu_size: int = 128
+    lsq_size: int = 64
+    int_alu: int = 4
+    int_muldiv: int = 2
+    fp_add: int = 2
+    fp_muldiv: int = 1
+    cache_ports: int = 2
+    frontend_latency: int = 4
+    mispredict_penalty: int = 6
+    predictor: str = "hybrid"
+    ras_depth: int = 16
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "decode_width",
+            "issue_width",
+            "commit_width",
+            "ruu_size",
+            "lsq_size",
+            "int_alu",
+            "cache_ports",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("int_muldiv", "fp_add", "fp_muldiv"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @classmethod
+    def baseline(cls) -> "MachineConfig":
+        """The paper's base SIE/DIE machine."""
+        return cls()
+
+    def scaled(self, alu: int = 1, ruu: int = 1, widths: int = 1) -> "MachineConfig":
+        """Return a copy with ALUs / RUU+LSQ / widths multiplied.
+
+        This reproduces Figure 2's DIE-2xALU / DIE-2xRUU / DIE-2xWidths
+        families (and their combinations).
+        """
+        if min(alu, ruu, widths) < 1:
+            raise ValueError("scale factors must be >= 1")
+        return replace(
+            self,
+            int_alu=self.int_alu * alu,
+            int_muldiv=self.int_muldiv * alu,
+            fp_add=self.fp_add * alu,
+            fp_muldiv=self.fp_muldiv * alu,
+            ruu_size=self.ruu_size * ruu,
+            lsq_size=self.lsq_size * ruu,
+            fetch_width=self.fetch_width * widths,
+            decode_width=self.decode_width * widths,
+            issue_width=self.issue_width * widths,
+            commit_width=self.commit_width * widths,
+        )
+
+    @property
+    def fu_counts(self) -> Dict[FUClass, int]:
+        """FU count per class (NONE excluded)."""
+        return {
+            FUClass.INT_ALU: self.int_alu,
+            FUClass.INT_MULDIV: self.int_muldiv,
+            FUClass.FP_ADD: self.fp_add,
+            FUClass.FP_MULDIV: self.fp_muldiv,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (Table 1 of the paper)."""
+        lines = [
+            f"widths (fetch/decode/issue/commit): {self.fetch_width}/"
+            f"{self.decode_width}/{self.issue_width}/{self.commit_width}",
+            f"RUU / LSQ: {self.ruu_size} / {self.lsq_size}",
+            f"ALUs (intALU/intMulDiv/fpAdd/fpMulDiv): {self.int_alu}/"
+            f"{self.int_muldiv}/{self.fp_add}/{self.fp_muldiv}",
+            f"D-cache ports: {self.cache_ports}",
+            f"front-end depth: {self.frontend_latency}, "
+            f"mispredict penalty: +{self.mispredict_penalty}",
+            f"branch predictor: {self.predictor} (RAS {self.ras_depth})",
+            f"L1I: {self.hierarchy.l1i.size_bytes // 1024}KB, "
+            f"L1D: {self.hierarchy.l1d.size_bytes // 1024}KB, "
+            f"L2: {self.hierarchy.l2.size_bytes // 1024}KB, "
+            f"DRAM: {self.hierarchy.dram.latency} cycles",
+        ]
+        return "\n".join(lines)

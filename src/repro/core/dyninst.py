@@ -1,0 +1,97 @@
+"""In-flight dynamic instruction state (one RUU entry)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import TraceInst
+
+PRIMARY = 0
+DUPLICATE = 1
+
+
+class DynInst:
+    """One RUU entry: a dynamic instruction plus its pipeline state.
+
+    In SIE mode every instruction is stream ``PRIMARY``.  In DIE modes each
+    trace instruction dispatches as a (PRIMARY, DUPLICATE) pair linked via
+    :attr:`pair`.
+
+    ``result`` starts as the architecturally-correct value from the trace
+    and is only changed by fault injection; the commit-stage checker
+    compares the *outputs* of the two streams (see :meth:`output`).
+    """
+
+    __slots__ = (
+        "trace",
+        "stream",
+        "uid",
+        "pair",
+        "pending",
+        "consumers",
+        "ready_cycle",
+        "issued",
+        "complete",
+        "complete_cycle",
+        "result",
+        "mem_addr",
+        "mispredicted",
+        "in_lsq",
+        "irb_entry",
+        "irb_ready_cycle",
+        "reuse_hit",
+        "name_ops",
+        "squashed",
+    )
+
+    def __init__(self, trace: TraceInst, stream: int = PRIMARY):
+        self.trace = trace
+        self.stream = stream
+        self.uid = trace.seq * 2 + stream
+        self.pair: Optional[DynInst] = None
+        self.pending = 0
+        self.consumers: List[DynInst] = []
+        self.ready_cycle: Optional[int] = None
+        self.issued = False
+        self.complete = False
+        self.complete_cycle: Optional[int] = None
+        self.result = trace.result
+        self.mem_addr = trace.mem_addr
+        self.mispredicted = False
+        self.in_lsq = False
+        self.irb_entry = None
+        self.irb_ready_cycle = 0
+        self.reuse_hit = False
+        # Name-based IRB mode: (register, version) pairs captured at
+        # dispatch (rename time) for each source operand.
+        self.name_ops = None
+        self.squashed = False
+
+    @property
+    def seq(self) -> int:
+        return self.trace.seq
+
+    @property
+    def is_duplicate(self) -> bool:
+        return self.stream == DUPLICATE
+
+    def output(self) -> object:
+        """The value the commit-stage checker compares across streams.
+
+        For memory instructions both streams compute (only) the effective
+        address; for control flow, the next PC; otherwise the result value.
+        """
+        if self.trace.is_mem:
+            return self.mem_addr
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "D" if self.is_duplicate else "P"
+        state = (
+            "done"
+            if self.complete
+            else "issued"
+            if self.issued
+            else f"wait({self.pending})"
+        )
+        return f"<DynInst {tag}{self.seq} {self.trace.opcode.name} {state}>"

@@ -1,0 +1,541 @@
+"""Cycle-level out-of-order pipeline (the SIE baseline).
+
+The model is a trace-driven reconstruction of SimpleScalar's
+``sim-outorder`` RUU machine, which is the paper's experimental platform:
+
+* **fetch** — up to ``fetch_width`` instructions per cycle, one taken
+  branch per cycle, I-cache modelled, direction prediction + BTB + RAS at
+  fetch time.  A mispredicted branch stops fetch until the branch resolves
+  plus a redirect penalty (wrong-path instructions are not simulated, the
+  standard trace-driven approximation).
+* **dispatch** — up to ``decode_width`` RUU entries per cycle,
+  ``frontend_latency`` cycles after fetch; register renaming reduces to
+  producer-linking because the trace is already in dataflow order.
+* **issue** — oldest-first wakeup/select over ready instructions, bounded
+  by ``issue_width`` and functional-unit availability (unpipelined units
+  block their unit for the full initiation interval).
+* **memory** — loads do a 1-cycle address calculation on an integer ALU,
+  then arbitrate for a D-cache port; latency comes from the two-level
+  hierarchy + DRAM model.  Stores complete after address calculation and
+  write the cache at commit.
+* **commit** — in-order, up to ``commit_width`` per cycle.
+
+Subclasses hook dispatch/commit/wakeup to build the DIE and DIE-IRB
+machines; the hooks are the methods prefixed ``_hook_``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
+from ..isa import (
+    FUClass,
+    NUM_REGS,
+    Opcode,
+    TraceInst,
+    is_cond_branch,
+    op_timing,
+)
+from ..memory import MemoryHierarchy
+from ..workloads import Trace
+from .config import MachineConfig
+from .dyninst import PRIMARY, DynInst
+from .fu import FUPool
+from .stats import SimStats
+
+
+class DeadlockError(RuntimeError):
+    """The pipeline stopped making progress (a model bug, not a workload)."""
+
+
+class OOOPipeline:
+    """Single Instruction Execution (SIE): the unmodified OOO core."""
+
+    #: number of architectural copies of each trace instruction
+    STREAMS = 1
+
+    name = "SIE"
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+        if len(trace) == 0:
+            raise ValueError("cannot simulate an empty trace")
+        self.trace = trace
+        self.config = config if config is not None else MachineConfig.baseline()
+        self.stats = SimStats()
+        self.hier = MemoryHierarchy(self.config.hierarchy)
+        self.predictor = make_predictor(self.config.predictor)
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack(self.config.ras_depth)
+        self.fu = FUPool(self.config.fu_counts)
+
+        self.cycle = 0
+        self.committed_arch = 0
+
+        # Front end.
+        self.fetch_index = 0
+        self.fetch_resume_cycle = 0
+        self.fetch_blocked_seq: Optional[int] = None
+        self._last_fetch_block: Optional[int] = None
+        # decode queue entries: (dispatchable_cycle, TraceInst, mispredicted)
+        self.decode_q: Deque[Tuple[int, TraceInst, bool]] = deque()
+        # A shallow fetch/dispatch queue (2 fetch groups), as in
+        # SimpleScalar's IFQ: deep queues would stretch branch-resolution
+        # time artificially when dispatch bandwidth halves under DIE.
+        self._decode_cap = self.config.fetch_width * 2
+
+        # Back end.
+        self.ruu: Deque[DynInst] = deque()
+        self.lsq_count = 0
+        self._events: List[Tuple[int, int, str, DynInst]] = []
+        self._ready: List[Tuple[int, DynInst]] = []
+        self._fu_blocked: List[Tuple[int, DynInst]] = []
+        self.mem_queue: Deque[DynInst] = deque()
+        # last producer of each register, per stream
+        self._producers = [
+            [None] * NUM_REGS for _ in range(self.STREAMS)
+        ]  # type: List[List[Optional[DynInst]]]
+
+        # Fault hook (installed by redundancy.faults.FaultInjector).
+        self.fault_injector = None
+        self._retired_this_cycle: List[DynInst] = []
+
+    # ==================================================================
+    # Hooks overridden by DIE / DIE-IRB
+    # ==================================================================
+
+    def _hook_make_entries(self, inst: TraceInst, mispredicted: bool) -> List[DynInst]:
+        """Build the RUU entries for one trace instruction."""
+        entry = DynInst(inst, PRIMARY)
+        entry.mispredicted = mispredicted
+        return [entry]
+
+    def _hook_source_stream(self, inst: DynInst) -> int:
+        """Which stream's producer table feeds ``inst``'s sources."""
+        return inst.stream
+
+    def _hook_effective_producer(self, inst: DynInst, producer: DynInst) -> DynInst:
+        """Map a named producer to the instruction that delivers the value."""
+        return producer
+
+    def _hook_wake_delay(self, producer: DynInst, consumer: DynInst) -> int:
+        """Extra cycles before a woken consumer may proceed (clustering)."""
+        return 0
+
+    def _hook_on_ready(self, inst: DynInst, cycle: int) -> None:
+        """Operands available; default: contend for issue/FUs."""
+        heapq.heappush(self._ready, (inst.uid, inst))
+
+    def _hook_commit(self, budget: int) -> int:
+        """Commit from the RUU head; returns slots consumed."""
+        used = 0
+        while self.ruu and used < budget:
+            head = self.ruu[0]
+            if not head.complete:
+                break
+            self.ruu.popleft()
+            self._retire(head)
+            self.committed_arch += 1
+            self.stats.committed += 1
+            used += 1
+        return used
+
+    def _hook_post_commit(self, insts: List[DynInst]) -> None:
+        """Called with every DynInst retired this cycle (IRB update point)."""
+
+    def _hook_decode_consumed(self) -> None:
+        """A decode-queue entry was accepted for dispatch (SMT bookkeeping)."""
+
+    def _hook_tick(self) -> None:
+        """Per-cycle housekeeping for extensions (IRB write drain)."""
+
+    # ==================================================================
+    # Warmup
+    # ==================================================================
+
+    def warm_up(self) -> None:
+        """Functional warmup: train caches, predictor and BTB on the trace.
+
+        The paper simulates SimPoint regions of long-running binaries, so
+        its structures are warm; our traces are short, and cold-start
+        misses would otherwise dominate.  This replays the trace's PCs,
+        memory addresses and branch outcomes through the stateful
+        structures (no timing), then zeroes their statistics.  Call before
+        :meth:`run`.
+        """
+        hier = self.hier
+        line = hier.l1i.config.line_bytes
+        last_block = None
+        for inst in self.trace:
+            block = inst.pc // line
+            if block != last_block:
+                hier.fetch(inst.pc, 0)
+                last_block = block
+            if inst.is_load:
+                if not self.trace.is_cold(inst.mem_addr):
+                    hier.load(inst.mem_addr, 0)
+            elif inst.is_store:
+                if not self.trace.is_cold(inst.mem_addr):
+                    hier.store(inst.mem_addr, 0)
+            if is_cond_branch(inst.opcode):
+                predicted = self.predictor.predict(inst.pc)
+                self.predictor.update(inst.pc, inst.taken, predicted)
+                if inst.taken:
+                    self.btb.update(inst.pc, inst.next_pc)
+            elif inst.is_branch and inst.opcode is not Opcode.RET:
+                self.btb.update(inst.pc, inst.next_pc)
+        hier.reset_stats()
+        self.predictor.reset_stats()
+        self.btb.reset_stats()
+
+    # ==================================================================
+    # Main loop
+    # ==================================================================
+
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until the whole trace commits; returns statistics."""
+        limit = max_cycles if max_cycles is not None else 1000 + 120 * len(self.trace)
+        total = len(self.trace)
+        while self.committed_arch < total:
+            self._step()
+            if self.cycle > limit:
+                raise DeadlockError(
+                    f"{self.name}: no completion after {self.cycle} cycles "
+                    f"({self.committed_arch}/{total} committed)"
+                )
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        if self.fault_injector is not None:
+            self.fault_injector.on_tick(self)
+        self._process_events(cycle)
+        self._commit(cycle)
+        self._issue(cycle)
+        self._start_memory(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        self._hook_tick()
+        self.cycle = cycle + 1
+
+    # ==================================================================
+    # Completion / writeback
+    # ==================================================================
+
+    def _process_events(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            when, _, kind, inst = heapq.heappop(events)
+            if inst.squashed:
+                continue
+            if kind == "complete":
+                self._complete(inst, when)
+            elif kind == "addr_done":
+                self.mem_queue.append(inst)
+            elif kind == "reready":
+                # An IRB lookup that outlived the operand wait: re-run the
+                # wakeup decision now that the entry has arrived.
+                if not inst.issued and not inst.complete:
+                    self._hook_on_ready(inst, when)
+            else:  # pragma: no cover - exhaustive
+                raise ValueError(f"unknown event kind {kind!r}")
+
+    def _complete(self, inst: DynInst, cycle: int) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.on_complete(inst)
+        inst.complete = True
+        inst.complete_cycle = cycle
+        for consumer in inst.consumers:
+            if consumer.squashed:
+                continue
+            consumer.pending -= 1
+            if consumer.pending == 0 and not consumer.issued:
+                delay = self._hook_wake_delay(inst, consumer)
+                consumer.ready_cycle = cycle + delay
+                if delay:
+                    self._schedule(cycle + delay, "reready", consumer)
+                else:
+                    self._hook_on_ready(consumer, cycle)
+        inst.consumers = []
+        if inst.trace.is_branch:
+            self._resolve_branch(inst, cycle)
+
+    def _resolve_branch(self, inst: DynInst, cycle: int) -> None:
+        if self.fetch_blocked_seq == inst.seq:
+            self.fetch_blocked_seq = None
+            self.fetch_resume_cycle = max(
+                self.fetch_resume_cycle, cycle + self.config.mispredict_penalty
+            )
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _commit(self, cycle: int) -> None:
+        self._retired_this_cycle: List[DynInst] = []
+        self._hook_commit(self.config.commit_width)
+        if self._retired_this_cycle:
+            self._hook_post_commit(self._retired_this_cycle)
+
+    def _retire(self, inst: DynInst) -> None:
+        if inst.in_lsq:
+            self.lsq_count -= 1
+            inst.in_lsq = False
+        if inst.trace.is_store and inst.stream == PRIMARY:
+            self.hier.store(inst.trace.mem_addr, self.cycle)
+        self._retired_this_cycle.append(inst)
+
+    # ==================================================================
+    # Issue
+    # ==================================================================
+
+    def _issue(self, cycle: int) -> None:
+        ready = self._ready
+        # Re-arm instructions that failed selection last cycle.
+        if self._fu_blocked:
+            for item in self._fu_blocked:
+                heapq.heappush(ready, item)
+            self._fu_blocked = []
+        budget = self.config.issue_width
+        skipped: List[Tuple[int, DynInst]] = []
+        while budget > 0 and ready:
+            uid, inst = heapq.heappop(ready)
+            if inst.squashed or inst.issued:
+                continue
+            if not self._try_issue(inst, cycle):
+                skipped.append((uid, inst))
+                continue
+            budget -= 1
+        self._fu_blocked.extend(skipped)
+
+    def _try_issue(self, inst: DynInst, cycle: int) -> bool:
+        trace = inst.trace
+        fu = trace.fu
+        if fu is FUClass.NONE:
+            inst.issued = True
+            self._schedule(cycle + 1, "complete", inst)
+            self.stats.issued += 1
+            return True
+        timing = op_timing(trace.opcode)
+        if inst.is_duplicate and trace.is_mem:
+            # Duplicates of loads/stores perform only address calculation.
+            timing = op_timing(Opcode.ADD)
+        if not self.fu.issue(fu, cycle, timing):
+            return False
+        inst.issued = True
+        self.stats.issued += 1
+        self.stats.count_fu_issue(fu, timing.init_interval)
+        if trace.is_load and not inst.is_duplicate:
+            # Address ready next cycle, then the access arbitrates for a
+            # D-cache port.
+            self._schedule(cycle + 1, "addr_done", inst)
+        else:
+            self._schedule(cycle + timing.latency, "complete", inst)
+        return True
+
+    def _schedule(self, when: int, kind: str, inst: DynInst) -> None:
+        heapq.heappush(self._events, (when, inst.uid, kind, inst))
+
+    # ==================================================================
+    # Memory
+    # ==================================================================
+
+    def _start_memory(self, cycle: int) -> None:
+        ports = self.config.cache_ports
+        queue = self.mem_queue
+        while ports > 0 and queue:
+            inst = queue.popleft()
+            if inst.squashed:
+                continue
+            latency = self.hier.load(inst.trace.mem_addr, cycle)
+            self._schedule(cycle + latency, "complete", inst)
+            ports -= 1
+
+    # ==================================================================
+    # Dispatch
+    # ==================================================================
+
+    def _dispatch(self, cycle: int) -> None:
+        budget = self.config.decode_width
+        config = self.config
+        while budget > 0 and self.decode_q:
+            ready_at, trace_inst, mispredicted = self.decode_q[0]
+            if ready_at > cycle:
+                break
+            entries = self._hook_make_entries(trace_inst, mispredicted)
+            if len(entries) > budget:
+                break
+            if len(self.ruu) + len(entries) > config.ruu_size:
+                self.stats.dispatch_stall_ruu += 1
+                break
+            needs_lsq = 1 if trace_inst.is_mem else 0
+            if needs_lsq and self.lsq_count >= config.lsq_size:
+                self.stats.dispatch_stall_lsq += 1
+                break
+            self.decode_q.popleft()
+            self._hook_decode_consumed()
+            # Two-phase dispatch: link every entry's sources before
+            # recording any entry's destination.  A pair's duplicate must
+            # see the producer table as it was *before* its own pair's
+            # write — both copies sit at the same dataflow position.
+            for entry in entries:
+                self._link_entry(entry, cycle)
+                budget -= 1
+            for entry in entries:
+                self._record_entry(entry)
+
+    def _link_entry(self, inst: DynInst, cycle: int) -> None:
+        trace = inst.trace
+        self.ruu.append(inst)
+        self.stats.dispatched += 1
+        if trace.is_mem and not inst.is_duplicate:
+            self.lsq_count += 1
+            inst.in_lsq = True
+
+        source_stream = self._hook_source_stream(inst)
+        table = self._producers[source_stream]
+        for reg in (trace.src1, trace.src2):
+            if reg is None or reg == 0:
+                continue
+            producer = table[reg]
+            if producer is not None:
+                producer = self._hook_effective_producer(inst, producer)
+            if producer is not None and not producer.complete and not producer.squashed:
+                inst.pending += 1
+                producer.consumers.append(inst)
+
+        if inst.pending == 0:
+            inst.ready_cycle = cycle + 1
+            self._hook_on_ready(inst, cycle + 1)
+
+    def _record_entry(self, inst: DynInst) -> None:
+        dst = inst.trace.dst
+        if dst is not None and dst != 0:
+            self._producers[inst.stream][dst] = inst
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch(self, cycle: int) -> None:
+        if self.fetch_blocked_seq is not None:
+            self.stats.fetch_stall_mispredict += 1
+            return
+        if cycle < self.fetch_resume_cycle:
+            return
+        if len(self.decode_q) >= self._decode_cap:
+            return
+        total = len(self.trace)
+        budget = self.config.fetch_width
+        line_bytes = self.hier.l1i.config.line_bytes
+        dispatch_at = cycle + self.config.frontend_latency
+        while budget > 0 and self.fetch_index < total:
+            inst = self.trace[self.fetch_index]
+            block = inst.pc // line_bytes
+            if block != self._last_fetch_block:
+                latency = self.hier.fetch(inst.pc, cycle)
+                self._last_fetch_block = block
+                if latency > self.hier.l1i.config.hit_latency:
+                    # I-cache miss: this group ends; the line arrives later.
+                    self.fetch_resume_cycle = cycle + latency
+                    self.stats.fetch_stall_icache += 1
+                    return
+            mispredicted, predicted_taken = self._predict(inst)
+            self.decode_q.append((dispatch_at, inst, mispredicted))
+            self.stats.fetched += 1
+            self.fetch_index += 1
+            budget -= 1
+            if mispredicted:
+                self.fetch_blocked_seq = inst.seq
+                return
+            if inst.is_branch and (predicted_taken or inst.taken):
+                # One taken (or predicted-taken) branch per fetch group.
+                return
+
+    def _predict(self, inst: TraceInst) -> Tuple[bool, bool]:
+        """Fetch-time prediction; returns (mispredicted, predicted_taken)."""
+        op = inst.opcode
+        if not inst.is_branch:
+            return False, False
+        self.stats.branches += 1
+        if getattr(self.predictor, "perfect", False):
+            if op is Opcode.CALL:
+                self.ras.push(inst.pc + 4)
+            return False, inst.taken
+        # Predictor/BTB state is trained immediately at fetch.  Training at
+        # branch resolution would make prediction accuracy depend on the
+        # back-end timing model, which would confound every SIE/DIE/DIE-IRB
+        # comparison; in-order fetch-time training keeps the front end
+        # identical across models (a standard trace-driven approximation —
+        # the *penalty* still depends on when the branch resolves).
+        if is_cond_branch(op):
+            predicted = self.predictor.predict(inst.pc)
+            wrong_target = False
+            if predicted:
+                target = self.btb.lookup(inst.pc)
+                if target is None:
+                    predicted = False  # cannot redirect without a target
+                elif target != inst.next_pc:
+                    wrong_target = True
+            self.predictor.update(inst.pc, inst.taken, predicted)
+            if inst.taken:
+                self.btb.update(inst.pc, inst.next_pc)
+            mispredicted = (predicted != inst.taken) or (
+                predicted and inst.taken and wrong_target
+            )
+            if mispredicted:
+                self.stats.mispredicts += 1
+            return mispredicted, predicted
+        if op is Opcode.RET:
+            predicted_pc = self.ras.pop()
+            mispredicted = predicted_pc != inst.next_pc
+            if mispredicted:
+                self.stats.mispredicts += 1
+            return mispredicted, True
+        # Direct JUMP/CALL: the BTB provides the target at fetch.
+        if op is Opcode.CALL:
+            self.ras.push(inst.pc + 4)
+        target = self.btb.lookup(inst.pc)
+        if target != inst.next_pc:
+            self.btb.update(inst.pc, inst.next_pc)
+            self.stats.mispredicts += 1
+            return True, True
+        return False, True
+
+    # ==================================================================
+    # Squash (fault-recovery rewind)
+    # ==================================================================
+
+    def squash_and_refetch(self, seq: int) -> None:
+        """Rewind to trace position ``seq`` (the paper's instruction-rewind).
+
+        Everything at or younger than ``seq`` is squashed and refetched,
+        exactly like a misspeculation recovery.
+        """
+        for inst in self.ruu:
+            inst.squashed = True
+        self.ruu.clear()
+        for _, __, ___, inst in self._events:
+            inst.squashed = True
+        self._events = []
+        for _, inst in self._ready:
+            inst.squashed = True
+        for _, inst in self._fu_blocked:
+            inst.squashed = True
+        self._ready = []
+        self._fu_blocked = []
+        for inst in self.mem_queue:
+            inst.squashed = True
+        self.mem_queue.clear()
+        self.decode_q.clear()
+        self.lsq_count = 0
+        self._producers = [[None] * NUM_REGS for _ in range(self.STREAMS)]
+        self.fetch_index = seq
+        self.fetch_blocked_seq = None
+        self._last_fetch_block = None
+        self.fetch_resume_cycle = (
+            self.cycle + self.config.mispredict_penalty + self.config.frontend_latency
+        )

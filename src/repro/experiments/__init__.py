@@ -1,0 +1,12 @@
+"""Per-figure experiment modules and their registry.
+
+Run one experiment::
+
+    from repro.experiments import get_experiment
+    result = get_experiment("F2").run(n_insts=40_000)
+    print(result.render())
+"""
+
+from .registry import EXPERIMENTS, Experiment, get_experiment
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]

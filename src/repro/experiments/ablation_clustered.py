@@ -1,0 +1,70 @@
+"""A4 — clustered DIE vs DIE-IRB (the comparison the paper postponed).
+
+Section 3 dismisses clustering qualitatively: a split cluster halves
+per-stream ILP and pays inter-cluster communication; a replicated cluster
+is spatial redundancy by another name.  This extension experiment runs
+both cluster variants against DIE-IRB so the argument has numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..simulation import format_table
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+_MODELS = ("die", "die-cluster-split", "die-cluster-repl", "die-irb")
+_LABELS = {
+    "die": "DIE",
+    "die-cluster-split": "Cluster/2",
+    "die-cluster-repl": "Cluster x2",
+    "die-irb": "DIE-IRB",
+}
+
+
+@dataclass
+class ClusteredResult:
+    apps: List[str]
+    loss: Dict[str, Dict[str, float]]  # model -> app -> loss %
+
+    def mean_loss(self, model: str) -> float:
+        return mean(list(self.loss[model].values()))
+
+    def rows(self):
+        out = [
+            [app] + [self.loss[m][app] for m in _MODELS] for app in self.apps
+        ]
+        out.append(["average"] + [self.mean_loss(m) for m in _MODELS])
+        return out
+
+    def render(self) -> str:
+        table = format_table(
+            ["app"] + [_LABELS[m] for m in _MODELS],
+            self.rows(),
+            precision=1,
+            title="A4: clustered DIE alternatives vs DIE-IRB (% IPC loss vs SIE)",
+        )
+        note = (
+            "\nCluster/2 splits the baseline FUs+issue between the streams; "
+            "Cluster x2 replicates the full\ncomplement per stream (spatial-"
+            "redundancy-like).  DIE-IRB spends neither the issue logic\n"
+            "nor the transistors."
+        )
+        return table + note
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> ClusteredResult:
+    """Compare base DIE, both cluster variants, and DIE-IRB."""
+    loss: Dict[str, Dict[str, float]] = {m: {} for m in _MODELS}
+    for app in apps:
+        models = [("sie", "sie", None, None)]
+        models += [(m, m, None, None) for m in _MODELS]
+        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        for m in _MODELS:
+            loss[m][app] = runs.loss(m)
+    return ClusteredResult(apps=list(apps), loss=loss)

@@ -1,0 +1,78 @@
+"""A5 — what would IRB result-forwarding have bought? (Section 3.3).
+
+The paper's complexity-effectiveness rests on *not* forwarding IRB
+results into the issue window (no extra buses/comparators), waking both
+streams from primary results instead.  This ablation runs the forwarding
+variant — duplicates wake from their own stream, so early reuse
+completions propagate — and reports the IPC difference the paper forgoes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..simulation import format_table
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+
+@dataclass
+class ForwardingResult:
+    apps: List[str]
+    loss_plain: Dict[str, float]  # DIE-IRB (no forwarding)
+    loss_fwd: Dict[str, float]  # DIE-IRB-Fwd
+    forgone: Dict[str, float]  # loss_plain - loss_fwd (points of IPC loss)
+
+    def rows(self):
+        out = [
+            (app, self.loss_plain[app], self.loss_fwd[app], self.forgone[app])
+            for app in self.apps
+        ]
+        out.append(
+            (
+                "average",
+                mean(list(self.loss_plain.values())),
+                mean(list(self.loss_fwd.values())),
+                mean(list(self.forgone.values())),
+            )
+        )
+        return out
+
+    def render(self) -> str:
+        table = format_table(
+            ["app", "loss% (no fwd)", "loss% (fwd)", "forgone (pts)"],
+            self.rows(),
+            precision=1,
+            title="A5: IRB forwarding ablation (Section 3.3 design point)",
+        )
+        return table + (
+            "\nThe 'forgone' column is the IPC-loss reduction the paper "
+            "trades away to avoid extra\nresult buses and wakeup "
+            "comparators in every issue-window slot."
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> ForwardingResult:
+    """Compare DIE-IRB with and without IRB result forwarding."""
+    loss_plain, loss_fwd, forgone = {}, {}, {}
+    for app in apps:
+        runs = run_models(
+            app,
+            [
+                ("sie", "sie", None, None),
+                ("plain", "die-irb", None, None),
+                ("fwd", "die-irb-fwd", None, None),
+            ],
+            n_insts=n_insts,
+            seed=seed,
+        )
+        loss_plain[app] = runs.loss("plain")
+        loss_fwd[app] = runs.loss("fwd")
+        forgone[app] = loss_plain[app] - loss_fwd[app]
+    return ForwardingResult(
+        apps=list(apps), loss_plain=loss_plain, loss_fwd=loss_fwd, forgone=forgone
+    )

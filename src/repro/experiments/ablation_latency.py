@@ -1,0 +1,62 @@
+"""A3 — IRB access-latency sensitivity.
+
+The paper pipelines the 1024-entry IRB lookup over 3 stages (Cacti 3.2 at
+180 nm / 2 GHz) and overlaps it with fetch/decode/dispatch.  This ablation
+sweeps the lookup depth to show how much slack that overlap provides: as
+long as the lookup finishes inside the front end (depth <= frontend
+latency) it is free; beyond that, reuse decisions wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..reuse import IRBConfig
+from ..simulation import format_series
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+DEFAULT_LATENCIES = (1, 3, 5, 8, 12)
+
+
+@dataclass
+class LatencySweepResult:
+    apps: List[str]
+    latencies: List[int]
+    loss: Dict[int, Dict[str, float]]
+
+    def mean_loss(self, latency: int) -> float:
+        return mean(list(self.loss[latency].values()))
+
+    def rows(self):
+        return [(lat, self.mean_loss(lat)) for lat in self.latencies]
+
+    def render(self) -> str:
+        return format_series(
+            "lookup cycles",
+            self.latencies,
+            [("mean loss %", [self.mean_loss(v) for v in self.latencies])],
+            title="A3: IRB lookup-latency sensitivity",
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+    latencies: Sequence[int] = DEFAULT_LATENCIES,
+) -> LatencySweepResult:
+    """Sweep the pipelined IRB access depth."""
+    loss: Dict[int, Dict[str, float]] = {lat: {} for lat in latencies}
+    for app in apps:
+        models = [("sie", "sie", None, None)]
+        models += [
+            (f"lat{v}", "die-irb", None, IRBConfig(lookup_latency=v))
+            for v in latencies
+        ]
+        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        for v in latencies:
+            loss[v][app] = runs.loss(f"lat{v}")
+    return LatencySweepResult(
+        apps=list(apps), latencies=list(latencies), loss=loss
+    )

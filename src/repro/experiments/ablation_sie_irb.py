@@ -1,0 +1,87 @@
+"""A2 — the prior-work baseline: classic instruction reuse on SIE [29].
+
+Citron et al. [12] found that IR helps a balanced single-stream core only
+for long-latency operations — the core is not ALU-bandwidth-bound, so
+reuse of single-cycle ops buys little.  The same IRB attached to a DIE
+core attacks a real bandwidth shortage.  This ablation shows the speedup
+an identical IRB delivers in each setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..simulation import format_table
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+
+@dataclass
+class SieIrbResult:
+    apps: List[str]
+    sie_speedup: Dict[str, float]  # SIE-IRB over SIE
+    die_speedup: Dict[str, float]  # DIE-IRB over DIE
+    sie_reuse: Dict[str, float]
+    die_reuse: Dict[str, float]
+
+    def rows(self):
+        out = [
+            (
+                app,
+                self.sie_speedup[app],
+                self.die_speedup[app],
+                self.sie_reuse[app],
+                self.die_reuse[app],
+            )
+            for app in self.apps
+        ]
+        out.append(
+            (
+                "average",
+                mean(list(self.sie_speedup.values())),
+                mean(list(self.die_speedup.values())),
+                mean(list(self.sie_reuse.values())),
+                mean(list(self.die_reuse.values())),
+            )
+        )
+        return out
+
+    def render(self) -> str:
+        return format_table(
+            ["app", "SIE-IRB speedup", "DIE-IRB speedup", "reuse (SIE)", "reuse (DIE)"],
+            self.rows(),
+            precision=3,
+            title="A2: the same IRB on SIE vs on DIE",
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> SieIrbResult:
+    """Measure IRB speedup on SIE and on DIE for every application."""
+    sie_speedup, die_speedup, sie_reuse, die_reuse = {}, {}, {}, {}
+    for app in apps:
+        runs = run_models(
+            app,
+            [
+                ("sie", "sie", None, None),
+                ("sie-irb", "sie-irb", None, None),
+                ("die", "die", None, None),
+                ("die-irb", "die-irb", None, None),
+            ],
+            n_insts=n_insts,
+            seed=seed,
+        )
+        sie_speedup[app] = runs.ipc("sie-irb") / runs.ipc("sie")
+        die_speedup[app] = runs.ipc("die-irb") / runs.ipc("die")
+        sie_reuse[app] = runs.results["sie-irb"].stats.irb_reuse_rate
+        die_reuse[app] = runs.results["die-irb"].stats.irb_reuse_rate
+    return SieIrbResult(
+        apps=list(apps),
+        sie_speedup=sie_speedup,
+        die_speedup=die_speedup,
+        sie_reuse=sie_reuse,
+        die_reuse=die_reuse,
+    )

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment module exposes ``run(apps=..., n_insts=..., seed=...)``
+returning a result object with ``rows()`` (structured data) and
+``render()`` (the paper-style text table).  ``n_insts`` trades fidelity
+for wall-clock time; the defaults regenerate each figure in minutes on a
+laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core import MachineConfig
+from ..reuse import IRBConfig
+from ..simulation import RunResult, get_trace, ipc_loss_pct, simulate
+from ..workloads import APP_NAMES
+
+#: Default dynamic instruction count per simulation.
+DEFAULT_N = 60_000
+
+#: Default benchmark set: the paper's 12 SPEC2000 applications.
+DEFAULT_APPS: Tuple[str, ...] = APP_NAMES
+
+
+@dataclass
+class AppRun:
+    """All model results for one application under one experiment."""
+
+    app: str
+    results: Dict[str, RunResult] = field(default_factory=dict)
+
+    def ipc(self, key: str) -> float:
+        return self.results[key].ipc
+
+    def loss(self, key: str, baseline: str = "sie") -> float:
+        """% IPC loss of ``key`` relative to ``baseline`` (SIE)."""
+        return ipc_loss_pct(self.ipc(baseline), self.ipc(key))
+
+
+def run_models(
+    app: str,
+    models: Sequence[Tuple[str, str, Optional[MachineConfig], Optional[IRBConfig]]],
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> AppRun:
+    """Simulate one app under several (key, model, config, irb) variants.
+
+    The trace is generated once and shared across all variants.
+    """
+    trace = get_trace(app, n_insts, seed)
+    out = AppRun(app=app)
+    for key, model, config, irb_config in models:
+        out.results[key] = simulate(
+            trace, model=model, config=config, irb_config=irb_config
+        )
+    return out
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper averages loss percentages this way)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)

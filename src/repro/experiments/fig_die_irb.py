@@ -1,0 +1,112 @@
+"""F5 — the headline result: DIE-IRB vs SIE / DIE / DIE-2xALU.
+
+Reproduces the paper's central claim (abstract / Section 1): DIE-IRB
+"gains back nearly 50% of the IPC loss that occurred due to ALU bandwidth
+limitations" — the DIE → DIE-2xALU gap — "and 23% of the overall IPC
+loss" — the DIE → SIE gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..simulation import format_table, recovered_fraction
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .fig2_resources import config_for
+
+
+@dataclass
+class DieIrbRow:
+    app: str
+    sie_ipc: float
+    die_ipc: float
+    die_2xalu_ipc: float
+    die_irb_ipc: float
+    die_loss: float
+    die_irb_loss: float
+    alu_recovery: float  # fraction of the DIE->2xALU gap recovered
+    overall_recovery: float  # fraction of the DIE->SIE gap recovered
+    reuse_rate: float
+
+
+@dataclass
+class DieIrbResult:
+    entries: List[DieIrbRow]
+
+    def rows(self):
+        return [
+            (
+                r.app,
+                r.sie_ipc,
+                r.die_ipc,
+                r.die_irb_ipc,
+                r.die_loss,
+                r.die_irb_loss,
+                r.alu_recovery,
+                r.overall_recovery,
+                r.reuse_rate,
+            )
+            for r in self.entries
+        ]
+
+    @property
+    def mean_alu_recovery(self) -> float:
+        return mean([r.alu_recovery for r in self.entries])
+
+    @property
+    def mean_overall_recovery(self) -> float:
+        return mean([r.overall_recovery for r in self.entries])
+
+    def render(self) -> str:
+        table = format_table(
+            ["app", "SIE", "DIE", "DIE-IRB", "DIE loss%", "IRB loss%",
+             "ALU-rec", "overall-rec", "reuse"],
+            self.rows(),
+            title="F5: DIE-IRB headline result",
+        )
+        summary = (
+            f"\nmean recovery of ALU-bandwidth loss: {self.mean_alu_recovery:.2f}"
+            f"  (paper: ~0.50)\n"
+            f"mean recovery of overall loss:       {self.mean_overall_recovery:.2f}"
+            f"  (paper: ~0.23)"
+        )
+        return table + summary
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> DieIrbResult:
+    """Measure DIE-IRB against SIE, DIE and the DIE-2xALU bound."""
+    entries = []
+    for app in apps:
+        runs = run_models(
+            app,
+            [
+                ("sie", "sie", None, None),
+                ("die", "die", None, None),
+                ("die2a", "die", config_for("DIE-2xALU"), None),
+                ("irb", "die-irb", None, None),
+            ],
+            n_insts=n_insts,
+            seed=seed,
+        )
+        sie, die = runs.ipc("sie"), runs.ipc("die")
+        die2a, irb = runs.ipc("die2a"), runs.ipc("irb")
+        entries.append(
+            DieIrbRow(
+                app=app,
+                sie_ipc=sie,
+                die_ipc=die,
+                die_2xalu_ipc=die2a,
+                die_irb_ipc=irb,
+                die_loss=runs.loss("die"),
+                die_irb_loss=runs.loss("irb"),
+                alu_recovery=recovered_fraction(die, irb, die2a),
+                overall_recovery=recovered_fraction(die, irb, sie),
+                reuse_rate=runs.results["irb"].stats.irb_reuse_rate,
+            )
+        )
+    return DieIrbResult(entries=entries)

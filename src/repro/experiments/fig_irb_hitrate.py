@@ -1,0 +1,83 @@
+"""F6 — IRB PC-hit and reuse rates per application.
+
+The paper cites [29, 35] for the 1024-entry direct-mapped IRB's "fairly
+good" hit rates.  This experiment reports, per app: the PC-hit rate of
+duplicate-stream lookups, the reuse rate (PC hit AND operand match), the
+trace's consecutive-repetition bound the IRB is chasing, and write-port
+pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..simulation import format_table, get_trace
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+
+@dataclass
+class HitRateRow:
+    app: str
+    lookups: int
+    pc_hit_rate: float
+    reuse_rate: float
+    port_starved_frac: float
+    write_drop_frac: float
+    static_pcs: int
+
+
+@dataclass
+class HitRateResult:
+    entries: List[HitRateRow]
+
+    def rows(self):
+        return [
+            (
+                r.app,
+                r.lookups,
+                r.pc_hit_rate,
+                r.reuse_rate,
+                r.port_starved_frac,
+                r.write_drop_frac,
+                r.static_pcs,
+            )
+            for r in self.entries
+        ]
+
+    @property
+    def mean_reuse(self) -> float:
+        return mean([r.reuse_rate for r in self.entries])
+
+    def render(self) -> str:
+        return format_table(
+            ["app", "lookups", "PC-hit", "reuse", "port-starved", "wr-drop", "static PCs"],
+            self.rows(),
+            title="F6: IRB hit/reuse rates (1024-entry direct-mapped)",
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> HitRateResult:
+    """Measure IRB behaviour for every application under DIE-IRB."""
+    entries = []
+    for app in apps:
+        runs = run_models(app, [("irb", "die-irb", None, None)], n_insts=n_insts, seed=seed)
+        stats = runs.results["irb"].stats
+        trace = get_trace(app, n_insts, seed)
+        lookups = max(1, stats.irb_lookups)
+        entries.append(
+            HitRateRow(
+                app=app,
+                lookups=stats.irb_lookups,
+                pc_hit_rate=stats.irb_pc_hit_rate,
+                reuse_rate=stats.irb_reuse_rate,
+                port_starved_frac=stats.irb_port_starved / lookups,
+                write_drop_frac=stats.irb_write_drops / max(1, stats.irb_writes),
+                static_pcs=trace.summary().unique_pcs,
+            )
+        )
+    return HitRateResult(entries=entries)

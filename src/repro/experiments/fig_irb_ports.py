@@ -1,0 +1,70 @@
+"""F8 — IRB read-port sensitivity.
+
+Section 3.2 argues that modest port counts (4R/2W/2RW) suffice because
+only the duplicate stream probes the IRB and the effective dispatch width
+of DIE is half of SIE's.  This sweep varies the read-port count and
+reports the starvation fraction and mean IPC loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..reuse import IRBConfig
+from ..simulation import format_series
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+DEFAULT_PORTS = (1, 2, 4, 6, 8)
+
+
+@dataclass
+class PortSweepResult:
+    apps: List[str]
+    ports: List[int]
+    loss: Dict[int, Dict[str, float]]
+    starved: Dict[int, Dict[str, float]]
+
+    def mean_loss(self, p: int) -> float:
+        return mean(list(self.loss[p].values()))
+
+    def mean_starved(self, p: int) -> float:
+        return mean(list(self.starved[p].values()))
+
+    def rows(self):
+        return [(p, self.mean_loss(p), self.mean_starved(p)) for p in self.ports]
+
+    def render(self) -> str:
+        return format_series(
+            "read ports",
+            self.ports,
+            [
+                ("mean loss %", [self.mean_loss(p) for p in self.ports]),
+                ("starved frac", [self.mean_starved(p) for p in self.ports]),
+            ],
+            title="F8: IRB read-port sensitivity (RW ports fixed at 2)",
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+    ports: Sequence[int] = DEFAULT_PORTS,
+) -> PortSweepResult:
+    """Sweep IRB read-port provisioning."""
+    loss: Dict[int, Dict[str, float]] = {p: {} for p in ports}
+    starved: Dict[int, Dict[str, float]] = {p: {} for p in ports}
+    for app in apps:
+        models = [("sie", "sie", None, None)]
+        models += [
+            (f"p{p}", "die-irb", None, IRBConfig(read_ports=p)) for p in ports
+        ]
+        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        for p in ports:
+            stats = runs.results[f"p{p}"].stats
+            loss[p][app] = runs.loss(f"p{p}")
+            starved[p][app] = stats.irb_port_starved / max(1, stats.irb_lookups)
+    return PortSweepResult(
+        apps=list(apps), ports=list(ports), loss=loss, starved=starved
+    )

@@ -1,0 +1,73 @@
+"""F7 — IRB size sensitivity.
+
+Sweeps the IRB entry count (direct-mapped) and reports the mean DIE-IRB
+IPC loss and reuse rate per size.  The paper settles on 1024 entries; the
+curve should show diminishing returns near that point, with
+capacity-pressured apps (gcc, vortex — large static footprints)
+benefiting the longest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..reuse import IRBConfig
+from ..simulation import format_series
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+
+DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass
+class SizeSweepResult:
+    apps: List[str]
+    sizes: List[int]
+    loss: Dict[int, Dict[str, float]]  # size -> app -> loss %
+    reuse: Dict[int, Dict[str, float]]
+
+    def mean_loss(self, size: int) -> float:
+        return mean(list(self.loss[size].values()))
+
+    def mean_reuse(self, size: int) -> float:
+        return mean(list(self.reuse[size].values()))
+
+    def rows(self):
+        return [
+            (size, self.mean_loss(size), self.mean_reuse(size))
+            for size in self.sizes
+        ]
+
+    def render(self) -> str:
+        return format_series(
+            "entries",
+            self.sizes,
+            [
+                ("mean loss %", [self.mean_loss(s) for s in self.sizes]),
+                ("mean reuse", [self.mean_reuse(s) for s in self.sizes]),
+            ],
+            title="F7: IRB size sensitivity (direct-mapped)",
+        )
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> SizeSweepResult:
+    """Sweep IRB entry counts for every application."""
+    loss: Dict[int, Dict[str, float]] = {s: {} for s in sizes}
+    reuse: Dict[int, Dict[str, float]] = {s: {} for s in sizes}
+    for app in apps:
+        models = [("sie", "sie", None, None)]
+        models += [
+            (f"irb{s}", "die-irb", None, IRBConfig(entries=s)) for s in sizes
+        ]
+        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        for s in sizes:
+            loss[s][app] = runs.loss(f"irb{s}")
+            reuse[s][app] = runs.results[f"irb{s}"].stats.irb_reuse_rate
+    return SizeSweepResult(
+        apps=list(apps), sizes=list(sizes), loss=loss, reuse=reuse
+    )

@@ -1,0 +1,43 @@
+"""T1 — the simulated machine configuration (the paper's parameters table).
+
+Not a simulation: renders the baseline machine and the IRB design point so
+the benchmark harness records exactly what every other experiment ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import MachineConfig
+from ..reuse import IRBConfig
+
+
+@dataclass
+class Table1Result:
+    """The rendered configuration tables."""
+
+    machine: MachineConfig
+    irb: IRBConfig
+
+    def rows(self):
+        return [
+            ("machine", self.machine.describe()),
+            (
+                "irb",
+                f"{self.irb.entries} entries, {self.irb.ways}-way, "
+                f"{self.irb.read_ports}R/{self.irb.write_ports}W/"
+                f"{self.irb.rw_ports}RW ports, "
+                f"{self.irb.lookup_latency}-cycle pipelined lookup",
+            ),
+        ]
+
+    def render(self) -> str:
+        lines = ["T1: simulated machine configuration", "-" * 40]
+        lines.append(self.machine.describe())
+        lines.append(self.rows()[1][1])
+        return "\n".join(lines)
+
+
+def run(**_ignored) -> Table1Result:
+    """Build the configuration summary (accepts/ignores runner kwargs)."""
+    return Table1Result(machine=MachineConfig.baseline(), irb=IRBConfig())

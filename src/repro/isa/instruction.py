@@ -1,0 +1,157 @@
+"""Static and dynamic instruction records.
+
+A :class:`StaticInst` is one slot of a synthesized program image — it has a
+PC, an opcode and register/immediate operands.  The functional executor
+interprets static instructions and emits :class:`TraceInst` records, the
+value-accurate dynamic stream that the timing models consume.
+
+``TraceInst`` carries resolved operand *values* because the Instruction
+Reuse Buffer's reuse test (Section 3.1) compares the current input operands
+against the values captured by a previous execution; hit rates must emerge
+from real value streams rather than from a dialed-in probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .opcodes import FUClass, Opcode, fu_class, is_branch, is_load, is_mem, is_store
+from .registers import reg_name
+
+
+@dataclass
+class StaticInst:
+    """One instruction of a synthesized program image.
+
+    Attributes:
+        pc: word-aligned program counter of this instruction.
+        opcode: operation to perform.
+        dst: destination register id, or ``None`` for stores/branches/NOP.
+        src1, src2: source register ids (``None`` if unused).
+        imm: immediate operand (shift amounts, address offsets, constants,
+            branch displacement targets).
+        target: for control-flow instructions, the statically-known target
+            PC (``None`` for RET, whose target comes from the link value).
+        taken_prob: for conditional branches synthesized as *data-dependent*
+            (rather than loop back-edges), the generator's intended taken
+            probability — kept for introspection and profiling only; actual
+            outcomes are computed from register values.
+    """
+
+    pc: int
+    opcode: Opcode
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+    taken_prob: Optional[float] = None
+
+    def __str__(self) -> str:
+        parts = [f"{self.pc:#06x}", self.opcode.name]
+        if self.dst is not None:
+            parts.append(reg_name(self.dst))
+        if self.src1 is not None:
+            parts.append(reg_name(self.src1))
+        if self.src2 is not None:
+            parts.append(reg_name(self.src2))
+        if self.target is not None:
+            parts.append(f"-> {self.target:#06x}")
+        elif self.imm:
+            parts.append(f"#{self.imm}")
+        return " ".join(parts)
+
+
+@dataclass
+class TraceInst:
+    """One dynamic instruction with resolved values.
+
+    This is the unit of work the timing models (SIE, DIE, DIE-IRB) operate
+    on.  ``result`` is the architecturally-correct outcome of this dynamic
+    instance; fault injection perturbs a *copy* held by the pipeline, never
+    the trace itself.
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "opcode",
+        "fu",
+        "dst",
+        "src1",
+        "src2",
+        "src1_val",
+        "src2_val",
+        "result",
+        "mem_addr",
+        "taken",
+        "next_pc",
+    )
+
+    seq: int
+    pc: int
+    opcode: Opcode
+    fu: FUClass
+    dst: Optional[int]
+    src1: Optional[int]
+    src2: Optional[int]
+    src1_val: object
+    src2_val: object
+    result: object
+    mem_addr: Optional[int]
+    taken: bool
+    next_pc: int
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return is_mem(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        """True for LOAD / FLOAD."""
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        """True for STORE / FSTORE."""
+        return is_store(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow instruction."""
+        return is_branch(self.opcode)
+
+    def __str__(self) -> str:
+        tgt = f" -> {self.next_pc:#06x}" if self.is_branch else ""
+        return f"[{self.seq}] {self.pc:#06x} {self.opcode.name}{tgt}"
+
+
+def make_trace_inst(
+    seq: int,
+    static: StaticInst,
+    src1_val: object,
+    src2_val: object,
+    result: object,
+    mem_addr: Optional[int],
+    taken: bool,
+    next_pc: int,
+) -> TraceInst:
+    """Build a :class:`TraceInst` for one dynamic instance of ``static``."""
+    return TraceInst(
+        seq=seq,
+        pc=static.pc,
+        opcode=static.opcode,
+        fu=fu_class(static.opcode),
+        dst=static.dst,
+        src1=static.src1,
+        src2=static.src2,
+        src1_val=src1_val,
+        src2_val=src2_val,
+        result=result,
+        mem_addr=mem_addr,
+        taken=taken,
+        next_pc=next_pc,
+    )
+

@@ -1,0 +1,60 @@
+"""Execution latencies and pipelining behaviour per opcode.
+
+Latencies follow the SimpleScalar ``sim-outorder`` defaults the paper's
+machine inherits: single-cycle integer ALU ops, pipelined multiplies,
+long-latency unpipelined divides and square roots.  Memory instruction
+latency here covers only the *address calculation*; the cache access is
+timed by the memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Timing contract of one opcode on its functional unit.
+
+    Attributes:
+        latency: cycles from issue to result availability.
+        init_interval: cycles before the unit can accept another operation
+            (1 = fully pipelined; == latency = unpipelined).
+    """
+
+    latency: int
+    init_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if not 1 <= self.init_interval <= self.latency:
+            raise ValueError(
+                f"init_interval must be in [1, latency], got {self.init_interval}"
+            )
+
+
+_DEFAULT = OpTiming(latency=1)
+
+_TIMINGS = {
+    Opcode.MUL: OpTiming(latency=3),
+    Opcode.DIV: OpTiming(latency=20, init_interval=19),
+    Opcode.FADD: OpTiming(latency=2),
+    Opcode.FSUB: OpTiming(latency=2),
+    Opcode.FCMP: OpTiming(latency=2),
+    Opcode.FMUL: OpTiming(latency=4),
+    Opcode.FDIV: OpTiming(latency=12, init_interval=12),
+    Opcode.FSQRT: OpTiming(latency=24, init_interval=24),
+}
+
+
+def op_timing(op: Opcode) -> OpTiming:
+    """Return the :class:`OpTiming` for ``op`` (single-cycle by default)."""
+    return _TIMINGS.get(op, _DEFAULT)
+
+
+def op_latency(op: Opcode) -> int:
+    """Shorthand for ``op_timing(op).latency``."""
+    return op_timing(op).latency

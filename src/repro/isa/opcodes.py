@@ -1,0 +1,183 @@
+"""Opcode and functional-unit-class definitions for the simulated ISA.
+
+The reproduction models a small RISC ISA that is rich enough to exercise
+every functional-unit class the paper's machine provisions (Section 2.2):
+integer ALUs, integer multiply/divide units, floating-point adders, and a
+floating-point multiply/divide/square-root unit.  Loads, stores and branches
+perform their address/target calculation on the integer ALUs, exactly as the
+paper notes ("branch target calculations are handled by the ALUs, and so are
+memory address calculations"), which is why the paper uses *functional unit*
+and *ALU* synonymously.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FUClass(enum.IntEnum):
+    """Functional-unit classes provisioned by the machine.
+
+    ``NONE`` marks instructions (NOPs) that never occupy an execution
+    resource.  Memory instructions are dual-resource: their *address
+    calculation* runs on :attr:`INT_ALU` and the access itself occupies a
+    cache port, modelled separately by the LSQ.
+    """
+
+    NONE = 0
+    INT_ALU = 1
+    INT_MULDIV = 2
+    FP_ADD = 3
+    FP_MULDIV = 4
+
+
+class Opcode(enum.IntEnum):
+    """Every opcode understood by the generator, executor and timing model."""
+
+    NOP = 0
+
+    # Integer ALU (single cycle).
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SHL = 6
+    SHR = 7
+    SLT = 8
+    ADDI = 9
+    ANDI = 10
+    ORI = 11
+    XORI = 12
+    LUI = 13
+
+    # Integer multiply / divide.
+    MUL = 20
+    DIV = 21
+
+    # Floating-point add class.
+    FADD = 30
+    FSUB = 31
+    FCMP = 32
+
+    # Floating-point multiply / divide / square root.
+    FMUL = 40
+    FDIV = 41
+    FSQRT = 42
+
+    # Memory.  Address calculation on INT_ALU; access via the LSQ.
+    LOAD = 50
+    STORE = 51
+    FLOAD = 52
+    FSTORE = 53
+
+    # Control.  Target calculation on INT_ALU.
+    BEQ = 60
+    BNE = 61
+    BLT = 62
+    BGE = 63
+    JUMP = 64
+    CALL = 65
+    RET = 66
+
+
+_INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.SLT,
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.LUI,
+    }
+)
+
+_MEM_OPS = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE})
+_LOAD_OPS = frozenset({Opcode.LOAD, Opcode.FLOAD})
+_STORE_OPS = frozenset({Opcode.STORE, Opcode.FSTORE})
+_COND_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+_UNCOND_BRANCH_OPS = frozenset({Opcode.JUMP, Opcode.CALL, Opcode.RET})
+_BRANCH_OPS = _COND_BRANCH_OPS | _UNCOND_BRANCH_OPS
+_FP_OPS = frozenset(
+    {
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FCMP,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FSQRT,
+        Opcode.FLOAD,
+        Opcode.FSTORE,
+    }
+)
+
+
+def fu_class(op: Opcode) -> FUClass:
+    """Return the functional-unit class that executes ``op``.
+
+    Memory and control instructions map to :attr:`FUClass.INT_ALU` because
+    the modelled machine performs address/target calculation there.
+    """
+    if op in _INT_ALU_OPS or op in _MEM_OPS or op in _BRANCH_OPS:
+        return FUClass.INT_ALU
+    if op in (Opcode.MUL, Opcode.DIV):
+        return FUClass.INT_MULDIV
+    if op in (Opcode.FADD, Opcode.FSUB, Opcode.FCMP):
+        return FUClass.FP_ADD
+    if op in (Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT):
+        return FUClass.FP_MULDIV
+    return FUClass.NONE
+
+
+def is_mem(op: Opcode) -> bool:
+    """True for loads and stores (integer or floating point)."""
+    return op in _MEM_OPS
+
+
+def is_load(op: Opcode) -> bool:
+    """True for LOAD / FLOAD."""
+    return op in _LOAD_OPS
+
+
+def is_store(op: Opcode) -> bool:
+    """True for STORE / FSTORE."""
+    return op in _STORE_OPS
+
+
+def is_branch(op: Opcode) -> bool:
+    """True for any control-flow instruction."""
+    return op in _BRANCH_OPS
+
+
+def is_cond_branch(op: Opcode) -> bool:
+    """True for conditional branches (BEQ/BNE/BLT/BGE)."""
+    return op in _COND_BRANCH_OPS
+
+
+def is_uncond_branch(op: Opcode) -> bool:
+    """True for JUMP / CALL / RET."""
+    return op in _UNCOND_BRANCH_OPS
+
+
+def is_fp(op: Opcode) -> bool:
+    """True for instructions that read or write floating-point registers."""
+    return op in _FP_OPS
+
+
+def is_reusable(op: Opcode) -> bool:
+    """True if the instruction may be serviced by the IRB.
+
+    Following Section 3.2, the IRB covers integer and floating-point ALU
+    instructions, branch target calculation, and the *address calculation*
+    of loads and stores.  Loads are not serviced end-to-end (no memory
+    disambiguation scan of the IRB); the memory access itself always runs.
+    NOPs carry no computation to reuse.
+    """
+    return op is not Opcode.NOP

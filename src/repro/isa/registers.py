@@ -1,0 +1,55 @@
+"""Architected register namespace.
+
+The machine has 32 integer registers (``r0`` hardwired to zero, as in MIPS
+and the Alpha ISA SimpleScalar models) and 32 floating-point registers.
+Register identifiers are plain integers: ``0..31`` for the integer file and
+``32..63`` for the floating-point file, so a single dense array can track
+both files in the core.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The always-zero integer register.
+ZERO_REG = 0
+
+#: Conventional stack pointer / link register used by CALL and RET.
+LINK_REG = 31
+
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Return the register id for integer register ``index``.
+
+    Raises :class:`ValueError` outside ``0..31``.
+    """
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the register id for floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return FP_BASE <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7``, ``f3``) for a register id."""
+    if reg is None:
+        return "-"
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_BASE}"

@@ -1,0 +1,15 @@
+"""Memory hierarchy substrate: caches, DRAM, and their composition."""
+
+from .cache import Cache, CacheConfig, CacheStats
+from .dram import DRAM, DRAMConfig
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "DRAM",
+    "DRAMConfig",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,61 @@
+"""Main-memory model: fixed access latency plus a bandwidth queue.
+
+A full DRAM controller is out of scope; what the paper's results need is
+(i) a large, flat miss penalty, and (ii) back-pressure when a streaming
+workload saturates the memory bus (art, mcf).  Both are captured by a
+single-server queue: each request occupies the bus for ``gap`` cycles, and
+a request arriving while the bus is busy waits its turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMConfig:
+    """Timing of the main-memory model.
+
+    Attributes:
+        latency: cycles from request to data for an unloaded system.
+        gap: minimum cycles between successive request starts
+            (inverse bandwidth, in line-fills per cycle).
+    """
+
+    latency: int = 150
+    gap: int = 6
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be >= 1")
+        if self.gap < 0:
+            raise ValueError("gap must be >= 0")
+
+
+class DRAM:
+    """Single-server bandwidth-limited memory."""
+
+    def __init__(self, config: DRAMConfig = None):
+        self.config = config if config is not None else DRAMConfig()
+        self._next_free = 0
+        self.requests = 0
+        self.total_queue_cycles = 0
+
+    def access(self, now: int) -> int:
+        """Issue a request at cycle ``now``; returns its total latency."""
+        self.requests += 1
+        start = max(now, self._next_free)
+        queue_delay = start - now
+        self.total_queue_cycles += queue_delay
+        self._next_free = start + self.config.gap
+        return queue_delay + self.config.latency
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_cycles / self.requests if self.requests else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero counters and bus state (used after warmup)."""
+        self._next_free = 0
+        self.requests = 0
+        self.total_queue_cycles = 0

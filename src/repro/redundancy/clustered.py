@@ -1,0 +1,147 @@
+"""Clustered DIE: the alternative the paper considers and postpones.
+
+Section 3 weighs a decentralized clustered design — separate issue logic
+and ALU pools per stream — against the IRB and rejects it: a *split*
+cluster (half the resources per stream) suffers limited per-cluster ILP
+and inter-cluster communication delays, while a *replicated* cluster
+(full resources per stream) "borders on spatial redundancy" — those
+transistors could have sped up SIE instead.  The paper leaves the
+quantitative comparison to future work; this module supplies it.
+
+Two variants of :class:`DIEClusteredPipeline`:
+
+* ``split`` — each stream issues to its own cluster holding half the
+  baseline FU complement and half the issue width.
+* ``replicated`` — each cluster holds the *full* baseline complement
+  (the spatial-redundancy-like configuration).
+
+Values crossing clusters (the single memory access feeding a duplicate
+consumer, and any IRB-free cross-stream communication) pay an
+inter-cluster forwarding delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import MachineConfig
+from ..core.dyninst import DynInst
+from ..core.fu import FUPool
+from ..isa import FUClass, Opcode, op_timing
+from ..workloads import Trace
+from .checker import CommitChecker
+from .die import DIEPipeline
+
+
+def _half_counts(config: MachineConfig) -> Dict[FUClass, int]:
+    """Half the baseline complement, at least one unit per present class."""
+    return {
+        fu: max(1, count // 2) if count else 0
+        for fu, count in config.fu_counts.items()
+    }
+
+
+class DIEClusteredPipeline(DIEPipeline):
+    """DIE with per-stream execution clusters."""
+
+    name = "DIE-Clustered"
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[MachineConfig] = None,
+        variant: str = "split",
+        intercluster_delay: int = 2,
+        checker: Optional[CommitChecker] = None,
+    ):
+        super().__init__(trace, config, checker)
+        if variant not in ("split", "replicated"):
+            raise ValueError(f"unknown cluster variant {variant!r}")
+        self.variant = variant
+        self.intercluster_delay = intercluster_delay
+        counts = (
+            self.config.fu_counts if variant == "replicated" else _half_counts(self.config)
+        )
+        # One FU pool per stream; the shared pool from the base class is
+        # not used for execution any more.
+        self.clusters = (FUPool(dict(counts)), FUPool(dict(counts)))
+        self._cluster_issue_width = max(1, self.config.issue_width // 2)
+
+    # ------------------------------------------------------------------
+
+    def _hook_wake_delay(self, producer: DynInst, consumer: DynInst) -> int:
+        # A value produced in one cluster takes extra cycles to reach a
+        # consumer in the other (the paper's "long inter-cluster
+        # communication delays").
+        if producer.stream != consumer.stream:
+            return self.intercluster_delay
+        return 0
+
+    def _issue(self, cycle: int) -> None:
+        """Per-cluster oldest-first select with per-cluster issue width."""
+        import heapq
+
+        ready = self._ready
+        if self._fu_blocked:
+            for item in self._fu_blocked:
+                heapq.heappush(ready, item)
+            self._fu_blocked = []
+        budgets = [self._cluster_issue_width, self._cluster_issue_width]
+        skipped = []
+        while ready and (budgets[0] > 0 or budgets[1] > 0):
+            uid, inst = heapq.heappop(ready)
+            if inst.squashed or inst.issued:
+                continue
+            cluster = inst.stream
+            if budgets[cluster] == 0:
+                skipped.append((uid, inst))
+                continue
+            if not self._try_issue_cluster(inst, cycle, cluster):
+                skipped.append((uid, inst))
+                continue
+            budgets[cluster] -= 1
+        self._fu_blocked.extend(skipped)
+
+    def _try_issue_cluster(self, inst: DynInst, cycle: int, cluster: int) -> bool:
+        trace = inst.trace
+        fu = trace.fu
+        if fu is FUClass.NONE:
+            inst.issued = True
+            self._schedule(cycle + 1, "complete", inst)
+            self.stats.issued += 1
+            return True
+        timing = op_timing(trace.opcode)
+        if inst.is_duplicate and trace.is_mem:
+            timing = op_timing(Opcode.ADD)
+        if not self.clusters[cluster].issue(fu, cycle, timing):
+            return False
+        inst.issued = True
+        self.stats.issued += 1
+        self.stats.count_fu_issue(fu, timing.init_interval)
+        if trace.is_load and not inst.is_duplicate:
+            self._schedule(cycle + 1, "addr_done", inst)
+        else:
+            self._schedule(cycle + timing.latency, "complete", inst)
+        return True
+
+
+class DIEClusterSplitPipeline(DIEClusteredPipeline):
+    """Split clustering: half the FU complement and issue width per stream."""
+
+    name = "DIE-Cluster-Split"
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+        super().__init__(trace, config, variant="split")
+
+
+class DIEClusterReplicatedPipeline(DIEClusteredPipeline):
+    """Replicated clustering: a full FU complement per stream.
+
+    The near-spatial-redundancy configuration the paper argues against on
+    transistor-budget grounds.
+    """
+
+    name = "DIE-Cluster-Repl"
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+        super().__init__(trace, config, variant="replicated")

@@ -1,0 +1,51 @@
+"""Sphere of Replication (SoR) description.
+
+Following Ray et al. [24] as summarized in Section 2.1 of the paper, the
+SoR covers the issue window, functional units, result/bypass network and
+the ROB; the PC, branch predictor and memory system stay outside (branch
+errors are caught at resolution; memory is protected by ECC).  Section 3
+argues the IRB also lies *inside* the SoR without extra protection,
+because each value it supplies is checked against a primary-stream
+execution on a real functional unit.
+
+This module encodes that inventory so documentation, tests and the fault
+experiments agree on which injection points must be covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class SphereOfReplication:
+    """The set of components protected by redundant execution."""
+
+    inside: FrozenSet[str]
+    outside: FrozenSet[str]
+
+    def protects(self, component: str) -> bool:
+        """True if faults in ``component`` are detectable via the checker."""
+        if component in self.inside:
+            return True
+        if component in self.outside:
+            return False
+        raise KeyError(f"unknown component {component!r}")
+
+
+#: The DIE sphere from [24].
+DIE_SPHERE = SphereOfReplication(
+    inside=frozenset(
+        {"issue_window", "functional_units", "bypass_network", "rob"}
+    ),
+    outside=frozenset(
+        {"pc", "branch_predictor", "icache", "dcache", "memory", "register_file"}
+    ),
+)
+
+#: DIE-IRB adds the IRB to the sphere with no additional protection.
+DIE_IRB_SPHERE = SphereOfReplication(
+    inside=DIE_SPHERE.inside | {"irb"},
+    outside=DIE_SPHERE.outside,
+)

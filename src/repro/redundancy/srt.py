@@ -1,0 +1,215 @@
+"""SRT-style thread-level temporal redundancy (the intro's comparator).
+
+The paper positions instruction-level DIE against thread-level proposals
+(AR-SMT, SRT [25, 26, 33]): two copies of the program run as SMT thread
+contexts with *slack* between them, a branch-outcome queue (the trailing
+thread never mispredicts) and a load-value queue (the trailing thread
+never accesses the cache).  The literature found these perform well —
+which is exactly why the paper calls instruction-level redundancy "more
+difficult".  This model lets the repository quantify that contrast.
+
+Model summary:
+
+* one shared out-of-order core; fetch alternates between the leading and
+  trailing contexts, one context per cycle;
+* the trailing fetch follows the leading fetch at a configurable slack
+  (in instructions) and is steered by the branch-outcome queue: it never
+  probes the predictor and never misfetches;
+* trailing loads/stores perform address calculation only; values come
+  from the load-value queue (memory is accessed once, outside the sphere
+  of replication, as in DIE);
+* the leading thread retires into a bounded output buffer; the trailing
+  thread's retirement checks against it — a mismatch triggers the rewind
+  of both contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import MachineConfig, OOOPipeline
+from ..core.dyninst import DUPLICATE, PRIMARY, DynInst
+from ..isa import TraceInst
+from ..workloads import Trace
+from .checker import CommitChecker
+
+#: Stream roles, aliased for readability: PRIMARY = leading thread.
+LEADING = PRIMARY
+TRAILING = DUPLICATE
+
+
+class SRTPipeline(OOOPipeline):
+    """Two redundant SMT contexts with slack fetch and value queues."""
+
+    STREAMS = 2
+    name = "SRT"
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[MachineConfig] = None,
+        slack: int = 64,
+        checker: Optional[CommitChecker] = None,
+    ):
+        super().__init__(trace, config)
+        if slack < 1:
+            raise ValueError("slack must be >= 1 instruction")
+        self.slack = slack
+        self.checker = checker if checker is not None else CommitChecker()
+        # Second fetch cursor (base class fetch_index drives the leader).
+        self.trail_index = 0
+        self.trail_committed = 0
+        # Leading outputs awaiting the trailing check: seq -> output value.
+        self._lead_outputs: Dict[int, object] = {}
+        # Stream tags aligned with decode_q order.
+        self._decode_streams: List[int] = []
+
+    # ==================================================================
+    # Fetch: two contexts, one per cycle, slack-coupled
+    # ==================================================================
+
+    def _fetch(self, cycle: int) -> None:
+        if len(self.decode_q) >= self._decode_cap:
+            return
+        total = len(self.trace)
+        # Alternate which context gets the fetch slot; fall back to the
+        # other when the preferred one cannot fetch this cycle.
+        prefer_leading = cycle % 2 == 0
+        order = (LEADING, TRAILING) if prefer_leading else (TRAILING, LEADING)
+        for stream in order:
+            if stream == LEADING:
+                if self._can_fetch_leading(cycle) and self.fetch_index < total:
+                    self._fetch_leading(cycle)
+                    return
+            else:
+                if self._can_fetch_trailing() and self.trail_index < total:
+                    self._fetch_trailing(cycle)
+                    return
+
+    def _can_fetch_leading(self, cycle: int) -> bool:
+        if self.fetch_blocked_seq is not None:
+            self.stats.fetch_stall_mispredict += 1
+            return False
+        if cycle < self.fetch_resume_cycle:
+            return False
+        # The output buffer bounds how far the leader may run ahead.
+        return self.fetch_index - self.trail_committed < self.slack * 4
+
+    def _trail_limit(self) -> int:
+        """How far the trailer may fetch: slack behind the leader, except
+        at the end of the trace where the leader has nothing left."""
+        if self.fetch_index >= len(self.trace):
+            return self.fetch_index
+        return self.fetch_index - self.slack
+
+    def _can_fetch_trailing(self) -> bool:
+        # Slack fetch: the trailer stays `slack` instructions behind, so
+        # branch outcomes and load values are waiting when it arrives.
+        return self.trail_index < self._trail_limit()
+
+    def _fetch_leading(self, cycle: int) -> None:
+        total = len(self.trace)
+        budget = self.config.fetch_width
+        line_bytes = self.hier.l1i.config.line_bytes
+        dispatch_at = cycle + self.config.frontend_latency
+        while budget > 0 and self.fetch_index < total:
+            inst = self.trace[self.fetch_index]
+            block = inst.pc // line_bytes
+            if block != self._last_fetch_block:
+                latency = self.hier.fetch(inst.pc, cycle)
+                self._last_fetch_block = block
+                if latency > self.hier.l1i.config.hit_latency:
+                    self.fetch_resume_cycle = cycle + latency
+                    self.stats.fetch_stall_icache += 1
+                    return
+            mispredicted, predicted_taken = self._predict(inst)
+            self.decode_q.append((dispatch_at, inst, mispredicted))
+            self._decode_streams.append(LEADING)
+            self.stats.fetched += 1
+            self.fetch_index += 1
+            budget -= 1
+            if mispredicted:
+                self.fetch_blocked_seq = inst.seq
+                return
+            if inst.is_branch and (predicted_taken or inst.taken):
+                return
+
+    def _fetch_trailing(self, cycle: int) -> None:
+        budget = self.config.fetch_width
+        dispatch_at = cycle + self.config.frontend_latency
+        limit = self._trail_limit()
+        while budget > 0 and self.trail_index < limit:
+            inst = self.trace[self.trail_index]
+            # Branch outcomes come from the queue: no prediction, no
+            # misfetch, and no I-cache charge (the line is resident from
+            # the leader's pass).
+            self.decode_q.append((dispatch_at, inst, False))
+            self._decode_streams.append(TRAILING)
+            self.trail_index += 1
+            budget -= 1
+            if inst.is_branch and inst.taken:
+                return
+
+    # ==================================================================
+    # Dispatch: entries carry their context's stream
+    # ==================================================================
+
+    def _hook_make_entries(self, inst: TraceInst, mispredicted: bool) -> List[DynInst]:
+        # Peek: dispatch may still reject this entry (RUU/LSQ full); the
+        # tag is consumed in _hook_decode_consumed once it is accepted.
+        stream = self._decode_streams[0]
+        entry = DynInst(inst, stream)
+        entry.mispredicted = mispredicted
+        return [entry]
+
+    def _hook_decode_consumed(self) -> None:
+        self._decode_streams.pop(0)
+
+    # ==================================================================
+    # Commit: leader fills the output buffer, trailer checks it
+    # ==================================================================
+
+    def _hook_commit(self, budget: int) -> int:
+        used = 0
+        while self.ruu and used < budget:
+            head = self.ruu[0]
+            if not head.complete:
+                break
+            if head.stream == LEADING:
+                self._lead_outputs[head.seq] = head.output()
+            else:
+                expected = self._lead_outputs.pop(head.seq, None)
+                self.checker.stats.checked += 1
+                self.stats.pairs_checked += 1
+                if expected != head.output():
+                    self.checker.stats.mismatches += 1
+                    self._recover(head)
+                    break
+                self.trail_committed += 1
+                self.committed_arch += 1
+                self.stats.committed += 1
+            self.ruu.popleft()
+            self._retire(head)
+            used += 1
+        return used
+
+    def _recover(self, trailing: DynInst) -> None:
+        """Rewind both contexts from the diverging instruction."""
+        self.stats.check_mismatches += 1
+        self.stats.recoveries += 1
+        self.stats.faults_detected += 1
+        self.squash_and_refetch(trailing.seq)
+
+    def squash_and_refetch(self, seq: int) -> None:
+        super().squash_and_refetch(seq)
+        self.trail_index = seq
+        self._decode_streams.clear()
+        self._lead_outputs = {
+            s: v for s, v in self._lead_outputs.items() if s < seq
+        }
+
+    # ==================================================================
+
+    def run(self, max_cycles: Optional[int] = None):
+        stats = super().run(max_cycles)
+        return stats

@@ -1,0 +1,59 @@
+"""IRB entry format.
+
+Figure 4 of the paper gives the entry layout: ⟨PC, Operand1, Operand2,
+Result, CTR⟩.  The CTR field is a small saturating reuse counter; we use
+it for the conflict-miss-reduction replacement policy (Section 3.1's
+"simple mechanism that can possibly reduce conflict misses in the IRB").
+
+For the *name-based* variant (Section 3.3), operands hold (register,
+version) pairs instead of values: an entry is reusable while neither
+source register has been overwritten since insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class IRBEntry:
+    """One Instruction Reuse Buffer entry.
+
+    Attributes:
+        pc: tag (full PC; the model stores exact tags).
+        op1 / op2: captured operand values (value-based mode) or
+            (register, version) tuples (name-based mode).  ``None`` marks
+            an absent operand.
+        result: the captured outcome — result value for ALU ops, effective
+            address for loads/stores, next PC for branches.
+        ctr: saturating reuse counter for CTR-guided replacement.
+    """
+
+    pc: int
+    op1: object
+    op2: object
+    result: object
+    ctr: int = 0
+
+    def matches_values(self, v1: object, v2: object) -> bool:
+        """Value-based reuse test: do current operands equal captured ones?"""
+        return self.op1 == v1 and self.op2 == v2
+
+    def matches_names(
+        self,
+        regs: Tuple[Optional[int], Optional[int]],
+        versions,
+    ) -> bool:
+        """Name-based reuse test: are both source registers unwritten?
+
+        ``versions`` maps register id -> current committed version.
+        """
+        for slot, reg in zip((self.op1, self.op2), regs):
+            if reg is None:
+                if slot is not None:
+                    return False
+                continue
+            if slot is None or slot[0] != reg or slot[1] != versions[reg]:
+                return False
+        return True

@@ -1,0 +1,207 @@
+"""The Instruction Reuse Buffer (IRB).
+
+A small PC-indexed table of previously executed instructions with their
+operand values and results (Sodani & Sohi's scheme "Sv" [29], as adopted
+by the paper).  The paper's design point is a 1024-entry direct-mapped
+buffer with a 3-stage pipelined access at 2 GHz (validated by the authors
+with Cacti 3.2); associativity and a CTR-guided replacement policy are
+modelled for the conflict-miss study.
+
+The IRB stores *committed* state only: entries are installed at commit
+through a small write queue bounded by the write ports, so the timing
+model never has to roll IRB contents back on a squash.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..isa import NUM_REGS
+from .entry import IRBEntry
+from .ports import PortArbiter
+
+
+@dataclass(frozen=True)
+class IRBConfig:
+    """IRB geometry, ports and policies.
+
+    Attributes:
+        entries: total entry count (1024 in the paper).
+        ways: set associativity (1 = direct-mapped, the paper's default).
+        read_ports / write_ports / rw_ports: port provisioning
+            (4/2/2 in the paper).
+        lookup_latency: pipelined access depth in cycles (3 at 2 GHz).
+        replacement: ``"always"`` (plain direct-mapped overwrite / set-LRU)
+            or ``"ctr"`` (the conflict-reduction mechanism: a hot entry
+            defends its slot by decrementing its reuse counter instead of
+            being evicted).
+        ctr_bits: width of the saturating reuse counter.
+        name_based: store register names+versions instead of operand
+            values (Section 3.3's variant for non-data-capture schedulers).
+        write_queue_depth: pending commit-time installs; overflow drops
+            the oldest write (counted, never blocks commit).
+    """
+
+    entries: int = 1024
+    ways: int = 1
+    read_ports: int = 4
+    write_ports: int = 2
+    rw_ports: int = 2
+    lookup_latency: int = 3
+    replacement: str = "always"
+    ctr_bits: int = 2
+    name_based: bool = False
+    write_queue_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.entries & (self.entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if self.ways < 1 or self.entries % self.ways:
+            raise ValueError("ways must divide entries")
+        if self.replacement not in ("always", "ctr"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+        if self.lookup_latency < 1:
+            raise ValueError("lookup_latency must be >= 1")
+        if self.write_queue_depth < 1:
+            raise ValueError("write_queue_depth must be >= 1")
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass
+class IRBStats:
+    """Occupancy-independent IRB event counts."""
+
+    lookups: int = 0
+    pc_hits: int = 0
+    writes: int = 0
+    write_drops: int = 0
+    evictions: int = 0
+    defended: int = 0  # CTR policy kept the incumbent entry
+
+
+class IRB:
+    """The reuse buffer proper: storage, lookup, insertion, invalidation."""
+
+    def __init__(self, config: Optional[IRBConfig] = None):
+        self.config = config if config is not None else IRBConfig()
+        self._sets: List[List[IRBEntry]] = [[] for _ in range(self.config.sets)]
+        self._write_q: Deque[Tuple[int, object, object, object]] = deque()
+        self.stats = IRBStats()
+        self._ctr_max = (1 << self.config.ctr_bits) - 1
+        # Register versions for the name-based reuse test.
+        self.reg_versions = [0] * NUM_REGS
+
+    # ------------------------------------------------------------------
+
+    def _set_for(self, pc: int) -> List[IRBEntry]:
+        return self._sets[(pc >> 2) & (self.config.sets - 1)]
+
+    def lookup(self, pc: int) -> Optional[IRBEntry]:
+        """PC probe; returns the entry (refreshing set-LRU) or ``None``."""
+        self.stats.lookups += 1
+        entries = self._set_for(pc)
+        for position, entry in enumerate(entries):
+            if entry.pc == pc:
+                if position:
+                    entries.insert(0, entries.pop(position))
+                self.stats.pc_hits += 1
+                return entry
+        return None
+
+    def touch(self, entry: IRBEntry) -> None:
+        """Record a successful reuse (bumps the CTR field)."""
+        if entry.ctr < self._ctr_max:
+            entry.ctr += 1
+
+    # ------------------------------------------------------------------
+    # Commit-side interface
+    # ------------------------------------------------------------------
+
+    def enqueue_write(self, pc: int, op1: object, op2: object, result: object) -> None:
+        """Queue an install; drops the oldest pending write on overflow."""
+        if len(self._write_q) >= self.config.write_queue_depth:
+            self._write_q.popleft()
+            self.stats.write_drops += 1
+        self._write_q.append((pc, op1, op2, result))
+
+    def drain(self, ports: PortArbiter, cycle: int) -> int:
+        """Perform queued installs through available write ports."""
+        done = 0
+        while self._write_q and ports.try_write(cycle):
+            pc, op1, op2, result = self._write_q.popleft()
+            self._install(pc, op1, op2, result)
+            done += 1
+        return done
+
+    def note_reg_write(self, reg: int) -> None:
+        """Commit-time register write (invalidates name-based entries)."""
+        self.reg_versions[reg] += 1
+
+    def _install(self, pc: int, op1: object, op2: object, result: object) -> None:
+        entries = self._set_for(pc)
+        for position, entry in enumerate(entries):
+            if entry.pc == pc:
+                # Refresh in place (same static instruction, new operands).
+                entry.op1 = op1
+                entry.op2 = op2
+                entry.result = result
+                entries.insert(0, entries.pop(position))
+                self.stats.writes += 1
+                return
+        if len(entries) >= self.config.ways:
+            victim = entries[-1]
+            if self.config.replacement == "ctr" and victim.ctr > 0:
+                victim.ctr -= 1
+                self.stats.defended += 1
+                return  # incumbent defends its slot; the write is dropped
+            entries.pop()
+            self.stats.evictions += 1
+        entries.insert(0, IRBEntry(pc=pc, op1=op1, op2=op2, result=result))
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def invalidate(self, pc: int) -> bool:
+        """Drop the entry for ``pc`` (used after a checker mismatch)."""
+        entries = self._set_for(pc)
+        for position, entry in enumerate(entries):
+            if entry.pc == pc:
+                entries.pop(position)
+                return True
+        return False
+
+    def corrupt(self, pc: int, mutator: Callable[[object], object]) -> bool:
+        """Fault-injection hook: perturb the stored result for ``pc``.
+
+        If ``pc`` is negative, corrupts the most recently used entry of
+        set 0 (an arbitrary cell, for random strikes).  Returns False when
+        the targeted cell holds no entry (a latent fault).
+        """
+        if pc < 0:
+            for entries in self._sets:
+                if entries:
+                    entries[0].result = mutator(entries[0].result)
+                    return True
+            return False
+        entries = self._set_for(pc)
+        for entry in entries:
+            if entry.pc == pc:
+                entry.result = mutator(entry.result)
+                return True
+        return False
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries currently stored."""
+        return sum(len(entries) for entries in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate everything (keeps statistics and the write queue)."""
+        self._sets = [[] for _ in range(self.config.sets)]

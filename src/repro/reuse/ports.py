@@ -1,0 +1,58 @@
+"""IRB port arbitration.
+
+The paper provisions 4 read ports, 2 write ports and 2 read-write ports
+(Section 3.2) so a 1024-entry IRB can be pipelined at the 2 GHz core
+clock.  Reads happen at fetch (duplicate-stream lookups); writes happen at
+commit (installing executed results).  Read-write ports serve whichever
+side needs them, reads first — lookups are latency-critical, while writes
+can sit in a small queue.
+"""
+
+from __future__ import annotations
+
+
+class PortArbiter:
+    """Per-cycle read/write port accounting.
+
+    State resets lazily whenever a request arrives with a newer cycle
+    number, so callers never need an explicit begin-of-cycle call.
+    """
+
+    def __init__(self, read_ports: int = 4, write_ports: int = 2, rw_ports: int = 2):
+        if min(read_ports, write_ports, rw_ports) < 0:
+            raise ValueError("port counts must be >= 0")
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self.rw_ports = rw_ports
+        self._cycle = -1
+        self._reads = 0
+        self._writes = 0
+
+    def _roll(self, cycle: int) -> None:
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._reads = 0
+            self._writes = 0
+
+    def try_read(self, cycle: int) -> bool:
+        """Claim a read port at ``cycle``; False if all are busy."""
+        self._roll(cycle)
+        rw_for_reads = max(0, self.rw_ports - max(0, self._writes - self.write_ports))
+        if self._reads < self.read_ports + rw_for_reads:
+            self._reads += 1
+            return True
+        return False
+
+    def try_write(self, cycle: int) -> bool:
+        """Claim a write port at ``cycle``; False if all are busy."""
+        self._roll(cycle)
+        rw_for_writes = max(0, self.rw_ports - max(0, self._reads - self.read_ports))
+        if self._writes < self.write_ports + rw_for_writes:
+            self._writes += 1
+            return True
+        return False
+
+    @property
+    def write_capacity(self) -> int:
+        """Maximum writes per cycle with no read contention."""
+        return self.write_ports + self.rw_ports

@@ -1,0 +1,113 @@
+"""SIE-IRB: classic dynamic instruction reuse on a single stream [29].
+
+This is the prior-work baseline the paper departs from.  Every instruction
+probes the IRB; a reuse hit bypasses the functional units but — unlike
+DIE-IRB — the IRB behaves as a functional unit: hits are *selected* (they
+consume issue bandwidth) and their results are broadcast to the issue
+window, which is exactly the wakeup/bypass complexity the paper's design
+avoids.  Citron's observation [12] that reuse helps a balanced SIE core
+only modestly (it is not ALU-bound) is reproducible with this model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import MachineConfig, OOOPipeline
+from ..core.dyninst import DynInst
+from ..isa import TraceInst, is_reusable
+from ..workloads import Trace
+from .irb import IRB, IRBConfig
+from .ports import PortArbiter
+
+
+class SIEIRBPipeline(OOOPipeline):
+    """Single-stream out-of-order core with a Sodani/Sohi-style IRB."""
+
+    name = "SIE-IRB"
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: Optional[MachineConfig] = None,
+        irb_config: Optional[IRBConfig] = None,
+    ):
+        super().__init__(trace, config)
+        self.irb = IRB(irb_config)
+        self.ports = PortArbiter(
+            self.irb.config.read_ports,
+            self.irb.config.write_ports,
+            self.irb.config.rw_ports,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _hook_make_entries(self, inst: TraceInst, mispredicted: bool) -> List[DynInst]:
+        entries = super()._hook_make_entries(inst, mispredicted)
+        trace = entries[0].trace
+        if not is_reusable(trace.opcode):
+            return entries
+        self.stats.irb_lookups += 1
+        if not self.ports.try_read(self.cycle):
+            self.stats.irb_port_starved += 1
+            return entries
+        entry = self.irb.lookup(trace.pc)
+        if entry is not None:
+            self.stats.irb_pc_hits += 1
+            residual = max(
+                0, self.irb.config.lookup_latency - self.config.frontend_latency
+            )
+            entries[0].irb_entry = entry
+            entries[0].irb_ready_cycle = self.cycle + residual
+        return entries
+
+    # ------------------------------------------------------------------
+
+    def _hook_on_ready(self, inst: DynInst, cycle: int) -> None:
+        entry = inst.irb_entry
+        if entry is not None and not inst.reuse_hit:
+            if cycle < inst.irb_ready_cycle:
+                self._schedule(inst.irb_ready_cycle, "reready", inst)
+                return
+            trace = inst.trace
+            if entry.matches_values(trace.src1_val, trace.src2_val):
+                # The hit is known, but in the classic scheme the
+                # instruction still goes through select (the IRB acts as an
+                # FU with its own result ports).
+                inst.reuse_hit = True
+                self.irb.touch(entry)
+                self.stats.irb_reuse_hits += 1
+        super()._hook_on_ready(inst, cycle)
+
+    def _try_issue(self, inst: DynInst, cycle: int) -> bool:
+        if not inst.reuse_hit:
+            return super()._try_issue(inst, cycle)
+        # Reuse hit: consumes an issue slot but no ALU.
+        inst.issued = True
+        self.stats.issued += 1
+        if inst.trace.is_load:
+            # Only the address calculation is reused; the access proceeds.
+            self._schedule(cycle + 1, "addr_done", inst)
+        else:
+            self._schedule(cycle + 1, "complete", inst)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _hook_post_commit(self, insts: List[DynInst]) -> None:
+        for inst in insts:
+            trace = inst.trace
+            if is_reusable(trace.opcode) and not inst.reuse_hit:
+                result = trace.mem_addr if trace.is_mem else trace.result
+                self.irb.enqueue_write(
+                    trace.pc, trace.src1_val, trace.src2_val, result
+                )
+
+    def _hook_tick(self) -> None:
+        self.irb.drain(self.ports, self.cycle)
+
+    def run(self, max_cycles: Optional[int] = None):
+        stats = super().run(max_cycles)
+        stats.irb_writes = self.irb.stats.writes
+        stats.irb_write_drops = self.irb.stats.write_drops
+        return stats

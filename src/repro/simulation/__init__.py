@@ -1,0 +1,27 @@
+"""Simulation driver layer: runners, sweeps, metrics, reporting."""
+
+from .metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    ipc_loss_pct,
+    recovered_fraction,
+)
+from .reporting import format_series, format_table
+from .runner import MODELS, RunResult, get_trace, run_workload, simulate
+from .sweep import SweepResult, sweep
+
+__all__ = [
+    "MODELS",
+    "RunResult",
+    "SweepResult",
+    "arithmetic_mean",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "get_trace",
+    "ipc_loss_pct",
+    "recovered_fraction",
+    "run_workload",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,54 @@
+"""Derived metrics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+
+def ipc_loss_pct(sie_ipc: float, other_ipc: float) -> float:
+    """Percentage IPC loss of a configuration relative to SIE (Figure 2).
+
+    Positive values mean the configuration is slower than SIE.
+    """
+    if sie_ipc <= 0:
+        raise ValueError("SIE IPC must be positive")
+    return 100.0 * (sie_ipc - other_ipc) / sie_ipc
+
+
+def recovered_fraction(base: float, improved: float, bound: float) -> float:
+    """How much of the gap from ``base`` to ``bound`` did ``improved`` close?
+
+    The paper's two headline numbers are instances of this:
+
+    * ALU-bandwidth recovery — ``base`` = DIE, ``bound`` = DIE-2xALU,
+      ``improved`` = DIE-IRB ("nearly 50%").
+    * Overall recovery — ``base`` = DIE, ``bound`` = SIE,
+      ``improved`` = DIE-IRB ("23% of the overall IPC loss").
+
+    Returns 0 when there is no gap to recover (including gaps below 1% of
+    the bound, where the ratio would be measurement noise — art's ALU
+    gap, for instance, is structurally ~0).
+    """
+    gap = bound - base
+    if gap <= 0.01 * abs(bound):
+        return 0.0
+    return (improved - base) / gap
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the conventional IPC-ratio aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values) -> float:
+    """Plain average (the paper reports arithmetic-mean IPC-loss percents)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)

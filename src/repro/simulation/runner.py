@@ -1,0 +1,133 @@
+"""High-level simulation driver: one call from workload name to statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..core import MachineConfig, OOOPipeline, SimStats
+from ..redundancy import (
+    DIEClusterReplicatedPipeline,
+    DIEClusterSplitPipeline,
+    DIEPipeline,
+    FaultInjector,
+    SRTPipeline,
+)
+from ..reuse import (
+    DIEIRBFwdPipeline,
+    DIEIRBPipeline,
+    DIEVPPipeline,
+    IRBConfig,
+    SIEIRBPipeline,
+)
+from ..workloads import Trace, load_workload
+
+#: Model registry; keys are the names used throughout the experiments.
+MODELS: Dict[str, Type[OOOPipeline]] = {
+    "sie": OOOPipeline,
+    "die": DIEPipeline,
+    "die-irb": DIEIRBPipeline,
+    "sie-irb": SIEIRBPipeline,
+    "die-irb-fwd": DIEIRBFwdPipeline,
+    "die-vp": DIEVPPipeline,
+    "die-cluster-split": DIEClusterSplitPipeline,
+    "die-cluster-repl": DIEClusterReplicatedPipeline,
+    "srt": SRTPipeline,
+}
+
+_IRB_MODELS = ("die-irb", "sie-irb", "die-irb-fwd")
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    model: str
+    workload: str
+    stats: SimStats
+    pipeline: OOOPipeline
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+# Traces are immutable to the timing models, so they are safely shared
+# between runs; regenerating them dominates short sweeps otherwise.
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_TRACE_CACHE_LIMIT = 24
+
+
+def get_trace(workload: str, n_insts: int, seed: int = 1) -> Trace:
+    """Load (and memoize) the dynamic trace for ``workload``."""
+    key = (workload, n_insts, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = load_workload(workload, n_insts=n_insts, seed=seed)
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def simulate(
+    trace: Trace,
+    model: str = "sie",
+    config: Optional[MachineConfig] = None,
+    irb_config: Optional[IRBConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    max_cycles: Optional[int] = None,
+    warmup: bool = True,
+) -> RunResult:
+    """Run one timing model over an existing trace.
+
+    Args:
+        trace: the dynamic instruction stream.
+        model: one of ``"sie"``, ``"die"``, ``"die-irb"``, ``"sie-irb"``.
+        config: machine configuration (baseline if omitted).
+        irb_config: IRB parameters (only for the IRB models).
+        fault_injector: optional transient-fault plan.
+        max_cycles: deadlock guard override.
+        warmup: functionally warm caches/predictor before timing (the
+            paper's SimPoint regions run with warm state).
+    """
+    try:
+        cls = MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; choose from {sorted(MODELS)}"
+        ) from None
+    if irb_config is not None and model not in _IRB_MODELS:
+        raise ValueError(f"model {model!r} takes no IRB configuration")
+    if model in _IRB_MODELS:
+        pipeline = cls(trace, config, irb_config)
+    else:
+        pipeline = cls(trace, config)
+    if fault_injector is not None:
+        pipeline.fault_injector = fault_injector
+    if warmup:
+        pipeline.warm_up()
+    stats = pipeline.run(max_cycles=max_cycles)
+    return RunResult(model=model, workload=trace.name, stats=stats, pipeline=pipeline)
+
+
+def run_workload(
+    workload: str,
+    model: str = "sie",
+    n_insts: int = 60_000,
+    seed: int = 1,
+    config: Optional[MachineConfig] = None,
+    irb_config: Optional[IRBConfig] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    warmup: bool = True,
+) -> RunResult:
+    """Generate the workload (memoized) and simulate it in one call."""
+    trace = get_trace(workload, n_insts, seed)
+    return simulate(
+        trace,
+        model=model,
+        config=config,
+        irb_config=irb_config,
+        fault_injector=fault_injector,
+        warmup=warmup,
+    )

@@ -1,0 +1,42 @@
+"""Parameter-sweep helper for the experiment layer."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class SweepResult:
+    """One point of a sweep: the parameter assignment and its outcome."""
+
+    params: Dict[str, object]
+    value: object
+
+
+def sweep(
+    axes: Sequence[Tuple[str, Iterable[object]]],
+    run: Callable[..., object],
+    progress: Callable[[Dict[str, object]], None] = None,
+) -> List[SweepResult]:
+    """Run ``run(**params)`` over the cartesian product of ``axes``.
+
+    Args:
+        axes: ordered (name, values) pairs; the last axis varies fastest.
+        run: callable receiving one keyword per axis.
+        progress: optional callback invoked with each parameter dict
+            before its run (for long sweeps).
+
+    Returns:
+        One :class:`SweepResult` per point, in product order.
+    """
+    names = [name for name, _ in axes]
+    value_lists = [list(values) for _, values in axes]
+    results: List[SweepResult] = []
+    for combo in itertools.product(*value_lists):
+        params = dict(zip(names, combo))
+        if progress is not None:
+            progress(params)
+        results.append(SweepResult(params=params, value=run(**params)))
+    return results

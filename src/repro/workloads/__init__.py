@@ -1,0 +1,61 @@
+"""Synthetic SPEC2000-like workload generation.
+
+The public entry point for most users is :func:`load_workload`, which turns
+a benchmark name into a value-accurate dynamic trace:
+
+    >>> from repro.workloads import load_workload
+    >>> trace = load_workload("gzip", n_insts=20_000)
+"""
+
+from .executor import FunctionalExecutor, execute_program
+from .generator import ProgramGenerator, generate_program
+from .profiles import (
+    APP_NAMES,
+    MIX_CATEGORIES,
+    PROFILES_BY_NAME,
+    SPEC2000_PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+from .program import DataArray, Program
+from .trace import Trace, TraceSummary
+from .values import fp_canon, int_div, to_unsigned64, wrap64
+
+
+def load_workload(name: str, n_insts: int = 100_000, seed: int = 1) -> Trace:
+    """Generate and functionally execute the named workload.
+
+    Args:
+        name: a SPEC2000 benchmark name from :data:`APP_NAMES`.
+        n_insts: dynamic instructions to emit.
+        seed: generation seed (same seed -> identical trace).
+
+    Returns:
+        The dynamic :class:`Trace` ready for any timing model.
+    """
+    profile = get_profile(name)
+    program = generate_program(profile, seed=seed)
+    return execute_program(program, n_insts)
+
+
+__all__ = [
+    "APP_NAMES",
+    "DataArray",
+    "FunctionalExecutor",
+    "MIX_CATEGORIES",
+    "PROFILES_BY_NAME",
+    "Program",
+    "ProgramGenerator",
+    "SPEC2000_PROFILES",
+    "Trace",
+    "TraceSummary",
+    "WorkloadProfile",
+    "execute_program",
+    "fp_canon",
+    "generate_program",
+    "get_profile",
+    "int_div",
+    "load_workload",
+    "to_unsigned64",
+    "wrap64",
+]

@@ -1,0 +1,222 @@
+"""Functional executor: interprets a synthetic program into a dynamic trace.
+
+The executor is the "golden" semantic model.  It maintains the architected
+register file and a sparse memory image, follows real control flow, and
+emits one value-accurate :class:`~repro.isa.TraceInst` per dynamic
+instruction.  Timing models replay this trace; fault injection perturbs
+pipeline-held copies, never the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..isa import (
+    NUM_REGS,
+    Opcode,
+    StaticInst,
+    TraceInst,
+    ZERO_REG,
+    make_trace_inst,
+)
+from .program import DataArray, Program, WORD_BYTES
+from .trace import Trace
+from .values import fp_canon, fp_div, fp_sqrt, int_div, to_unsigned64, wrap64
+
+
+class FunctionalExecutor:
+    """Interprets a :class:`Program`, producing a :class:`Trace`.
+
+    The executor is deterministic: the same program (which embeds its
+    generation seed) always produces the same trace.  Memory words are
+    materialized lazily from each array's value pool; addresses outside any
+    declared array read as zero (the generator can overshoot an array's end
+    by a small immediate offset, which real code would also tolerate).
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.regs: List[object] = [0] * NUM_REGS
+        self.mem: Dict[int, object] = {}
+        self._pools: Dict[str, List[object]] = {}
+        for arr in program.arrays:
+            self._pools[arr.name] = self._build_pool(arr)
+        self.pc = program.entry
+        self.seq = 0
+
+    def _build_pool(self, arr: DataArray) -> List[object]:
+        rng = random.Random(f"{self.program.name}:{self.program.seed}:{arr.name}")
+        if arr.is_fp:
+            return [rng.uniform(0.25, 4.0) for _ in range(arr.entropy)]
+        if arr.name == "graph":
+            # Pointer-like payloads: wide values so chase addresses derived
+            # from them spread over the whole array.
+            return [rng.getrandbits(48) for _ in range(arr.entropy)]
+        return [rng.randrange(-1024, 1024) for _ in range(arr.entropy)]
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def _mem_read(self, addr: int, want_fp: bool) -> object:
+        addr &= ~(WORD_BYTES - 1)
+        if addr in self.mem:
+            return self.mem[addr]
+        arr = self.program.array_for(addr)
+        if arr is None:
+            return 0.0 if want_fp else 0
+        pool = self._pools[arr.name]
+        word_index = (addr - arr.base) // WORD_BYTES
+        value = pool[word_index % len(pool)]
+        self.mem[addr] = value
+        return value
+
+    def _mem_write(self, addr: int, value: object) -> None:
+        addr &= ~(WORD_BYTES - 1)
+        self.mem[addr] = value
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _read(self, reg: Optional[int]) -> object:
+        return None if reg is None else self.regs[reg]
+
+    def _write(self, reg: Optional[int], value: object) -> None:
+        if reg is not None and reg != ZERO_REG:
+            self.regs[reg] = value
+
+    def step(self) -> TraceInst:
+        """Execute one instruction and return its trace record."""
+        static = self.program.at(self.pc)
+        record = self._execute(static)
+        self.pc = record.next_pc
+        self.seq += 1
+        return record
+
+    def run(self, count: int) -> Trace:
+        """Execute ``count`` dynamic instructions from the current state."""
+        insts = [self.step() for _ in range(count)]
+        cold_ranges = tuple(
+            (arr.base, arr.limit) for arr in self.program.arrays if arr.cold
+        )
+        return Trace(
+            name=self.program.name,
+            insts=insts,
+            static_footprint=self.program.static_footprint,
+            cold_ranges=cold_ranges,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, s: StaticInst) -> TraceInst:
+        op = s.opcode
+        pc = s.pc
+        v1 = self._read(s.src1)
+        # Binary operations take the second operand from a register when one
+        # is named, otherwise from the immediate (the I-format).
+        v2 = self._read(s.src2) if s.src2 is not None else s.imm
+
+        result: object = None
+        mem_addr: Optional[int] = None
+        taken = False
+        next_pc = pc + 4
+
+        if op is Opcode.NOP:
+            v1 = v2 = None
+        elif op in (Opcode.ADD, Opcode.ADDI):
+            result = wrap64(v1 + v2)
+        elif op is Opcode.SUB:
+            result = wrap64(v1 - v2)
+        elif op in (Opcode.AND, Opcode.ANDI):
+            result = wrap64(to_unsigned64(v1) & to_unsigned64(v2))
+        elif op in (Opcode.OR, Opcode.ORI):
+            result = wrap64(to_unsigned64(v1) | to_unsigned64(v2))
+        elif op in (Opcode.XOR, Opcode.XORI):
+            result = wrap64(to_unsigned64(v1) ^ to_unsigned64(v2))
+        elif op is Opcode.SHL:
+            result = wrap64(to_unsigned64(v1) << (v2 & 63))
+        elif op is Opcode.SHR:
+            result = wrap64(to_unsigned64(v1) >> (v2 & 63))
+        elif op is Opcode.SLT:
+            result = 1 if v1 < v2 else 0
+        elif op is Opcode.LUI:
+            v1 = None
+            v2 = s.imm
+            result = wrap64(s.imm << 16)
+        elif op is Opcode.MUL:
+            result = wrap64(v1 * v2)
+        elif op is Opcode.DIV:
+            result = int_div(v1, v2)
+        elif op is Opcode.FADD:
+            result = fp_canon(v1 + v2)
+        elif op is Opcode.FSUB:
+            result = fp_canon(v1 - v2)
+        elif op is Opcode.FCMP:
+            result = 1.0 if v1 < v2 else 0.0
+        elif op is Opcode.FMUL:
+            result = fp_canon(v1 * v2)
+        elif op is Opcode.FDIV:
+            result = fp_div(v1, v2)
+        elif op is Opcode.FSQRT:
+            v2 = None
+            result = fp_sqrt(v1)
+        elif op in (Opcode.LOAD, Opcode.FLOAD):
+            mem_addr = wrap64(v1 + s.imm)
+            v2 = s.imm
+            result = self._mem_read(mem_addr, want_fp=op is Opcode.FLOAD)
+        elif op in (Opcode.STORE, Opcode.FSTORE):
+            mem_addr = wrap64(v1 + s.imm)
+            result = mem_addr
+            self._mem_write(mem_addr, v2)
+        elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            taken = self._branch_taken(op, v1, v2)
+            next_pc = s.target if taken else pc + 4
+            result = next_pc
+        elif op is Opcode.JUMP:
+            v1 = v2 = None
+            taken = True
+            next_pc = s.target
+            result = next_pc
+        elif op is Opcode.CALL:
+            v1 = v2 = None
+            taken = True
+            next_pc = s.target
+            result = wrap64(pc + 4)  # the link value written to r31
+        elif op is Opcode.RET:
+            v2 = None
+            taken = True
+            next_pc = v1
+            result = next_pc
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ValueError(f"unhandled opcode {op!r}")
+
+        if s.dst is not None:
+            self._write(s.dst, result)
+
+        return make_trace_inst(
+            seq=self.seq,
+            static=s,
+            src1_val=v1,
+            src2_val=v2,
+            result=result,
+            mem_addr=mem_addr,
+            taken=taken,
+            next_pc=next_pc,
+        )
+
+    @staticmethod
+    def _branch_taken(op: Opcode, v1: object, v2: object) -> bool:
+        if op is Opcode.BEQ:
+            return v1 == v2
+        if op is Opcode.BNE:
+            return v1 != v2
+        if op is Opcode.BLT:
+            return v1 < v2
+        return v1 >= v2
+
+
+def execute_program(program: Program, count: int) -> Trace:
+    """Run ``program`` from its entry point for ``count`` instructions."""
+    return FunctionalExecutor(program).run(count)

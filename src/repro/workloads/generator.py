@@ -1,0 +1,680 @@
+"""Synthetic program generator.
+
+Builds a loop-structured :class:`~repro.workloads.program.Program` from a
+:class:`~repro.workloads.profiles.WorkloadProfile`.  The generated code is a
+one-shot prologue (register environment setup), a few small callable helper
+functions, and an endless outer loop over ``num_kernels`` inner loops whose
+bodies are drawn from the profile's instruction mix.
+
+The structure deliberately produces the phenomena the paper's evaluation
+depends on:
+
+* **Value-level instruction repetition** — operands drawn from a
+  loop-invariant register pool and from low-entropy array data make static
+  instructions re-execute with previously-seen operand values, which is
+  what the IRB exploits.  Induction-variable operands defeat reuse, as in
+  real code.
+* **Cache behaviour** — a persistent strided index walks arrays sized to
+  the profile's working set (capacity misses for memory-bound codes), and
+  hashed indices model pointer chasing (conflict/ capacity misses with no
+  spatial locality).
+* **Branch behaviour** — loop back-edges are highly predictable; forward
+  if/then branches test either low-entropy data (learnable) or hashed
+  values (noise), in profile-controlled proportions.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..isa import Opcode, StaticInst, fp_reg, int_reg
+from .profiles import WorkloadProfile
+from .program import INST_BYTES, WORD_BYTES, DataArray, Program
+
+# Register allocation contract shared with the executor and tests.
+R_MAIN_BASE = int_reg(1)
+R_TABLE_BASE = int_reg(2)
+R_FPMAIN_BASE = int_reg(3)
+R_FPTABLE_BASE = int_reg(4)
+R_COUNTER = int_reg(5)
+R_INDEX = int_reg(6)
+R_HASH = int_reg(7)
+R_GRAPH_BASE = int_reg(29)
+R_HEAP_BASE = int_reg(30)
+INT_POOL = tuple(int_reg(i) for i in range(8, 16))
+INT_TEMPS = tuple(int_reg(i) for i in range(16, 24))
+#: Per-kernel strided cursor: real code addresses most loads as
+#: base+immediate off a pointer that advances once per iteration; the
+#: cursor models that pointer (and keeps address math off the ALUs).
+R_CURSOR = int_reg(24)
+#: Loop-carried accumulators (CRC/hash/state registers in real code):
+#: chains through these serialize across iterations, bounding dataflow ILP.
+INT_ACCS = tuple(int_reg(i) for i in range(25, 28))
+#: Dedicated pointer-chase register: the walk must survive temp rotation,
+#: or the chain silently breaks when a later op reuses the register.
+R_CHASE = int_reg(28)
+FP_POOL = tuple(fp_reg(i) for i in range(0, 8))
+FP_TEMPS = tuple(fp_reg(i) for i in range(8, 28))
+FP_ACCS = tuple(fp_reg(i) for i in range(28, 32))
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+
+_INT_ALU_CHOICES = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SLT,
+    Opcode.SHL,
+    Opcode.SHR,
+)
+
+_FP_ADD_CHOICES = (Opcode.FADD, Opcode.FSUB, Opcode.FADD, Opcode.FCMP)
+
+
+def _round_up_pow2(value: int) -> int:
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+class ProgramGenerator:
+    """Generates one synthetic program from a profile.
+
+    Usage::
+
+        program = ProgramGenerator(profile, seed=1).generate()
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 1):
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32 is stable across processes, unlike str.__hash__ which
+        # is salted and would make "identical" programs differ run to run.
+        name_hash = zlib.crc32(profile.name.encode()) & 0xFFFF
+        self.rng = random.Random(name_hash * 1_000_003 + seed)
+        self.insts: List[StaticInst] = []
+        self.arrays: List[DataArray] = []
+        self._int_recent: Deque[int] = deque(maxlen=16)
+        self._fp_recent: Deque[int] = deque(maxlen=16)
+        self._int_temp_cursor = 0
+        self._fp_temp_cursor = 0
+        self._no_branch_until = 0  # body slot index guarding skip regions
+        self._chase_started = False
+        self._kernel_arr = None
+        self._last_load_reg: Optional[int] = None
+        # Deterministic quotas so small fractions still get sites.
+        self._load_sites = 0
+        self._chase_sites = 0
+        self._random_sites = 0
+        self._int_accs = INT_ACCS
+        self._fp_accs = FP_ACCS
+        self._fp_acc_flip = True
+        # Registers currently holding repetition-pure values (invariants,
+        # fixed-load results, and results of pure ops on those).  Ops fed
+        # only from this set produce the same value every iteration — the
+        # dependence-slice repetition instruction reuse feeds on.
+        self._pure_int = set(INT_POOL)
+        self._pure_fp = set(FP_POOL)
+        self._helper_pcs: List[int] = []
+        self._mix = profile.normalized_mix()
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+
+    @property
+    def _pc(self) -> int:
+        return len(self.insts) * INST_BYTES
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        dst: Optional[int] = None,
+        src1: Optional[int] = None,
+        src2: Optional[int] = None,
+        imm: int = 0,
+        target: Optional[int] = None,
+        taken_prob: Optional[float] = None,
+    ) -> StaticInst:
+        inst = StaticInst(
+            pc=self._pc,
+            opcode=opcode,
+            dst=dst,
+            src1=src1,
+            src2=src2,
+            imm=imm,
+            target=target,
+            taken_prob=taken_prob,
+        )
+        self.insts.append(inst)
+        return inst
+
+    def _next_int_temp(self) -> int:
+        reg = INT_TEMPS[self._int_temp_cursor % len(INT_TEMPS)]
+        self._int_temp_cursor += 1
+        return reg
+
+    def _next_fp_temp(self) -> int:
+        reg = FP_TEMPS[self._fp_temp_cursor % len(FP_TEMPS)]
+        self._fp_temp_cursor += 1
+        return reg
+
+    def _note_int_write(self, reg: int, pure: bool = False) -> None:
+        self._int_recent.appendleft(reg)
+        if pure:
+            self._pure_int.add(reg)
+        else:
+            self._pure_int.discard(reg)
+
+    def _note_fp_write(self, reg: int, pure: bool = False) -> None:
+        self._fp_recent.appendleft(reg)
+        if pure:
+            self._pure_fp.add(reg)
+        else:
+            self._pure_fp.discard(reg)
+
+    # ------------------------------------------------------------------
+    # Operand selection
+    # ------------------------------------------------------------------
+
+    def _recent_pick(self, recent: Deque[int]) -> int:
+        depth = min(
+            int(self.rng.expovariate(1.0 / self.profile.dep_distance)),
+            len(recent) - 1,
+        )
+        return recent[depth]
+
+    def _int_source(self) -> int:
+        roll = self.rng.random()
+        if roll < self.profile.invariant_frac or not self._int_recent:
+            return self.rng.choice(INT_POOL)
+        if roll < self.profile.invariant_frac + self.profile.induction_frac:
+            return R_INDEX
+        return self._recent_pick(self._int_recent)
+
+    def _fp_source(self) -> int:
+        roll = self.rng.random()
+        if roll < self.profile.invariant_frac or not self._fp_recent:
+            return self.rng.choice(FP_POOL)
+        return self._recent_pick(self._fp_recent)
+
+    # ------------------------------------------------------------------
+    # Data arrays
+    # ------------------------------------------------------------------
+
+    def _allocate_arrays(self) -> Dict[str, DataArray]:
+        profile = self.profile
+        ws_words = max(512, (profile.working_set_kb * 1024) // WORD_BYTES)
+        ws_words = _round_up_pow2(ws_words)
+        table_words = 512  # 4 KiB, always cache resident
+
+        layout = {}
+        next_base = 0x1_0000
+
+        def alloc(
+            name: str, words: int, entropy: int, is_fp: bool, cold: bool = False
+        ) -> DataArray:
+            nonlocal next_base
+            arr = DataArray(
+                name=name,
+                base=next_base,
+                words=words,
+                entropy=entropy,
+                is_fp=is_fp,
+                cold=cold,
+            )
+            next_base = arr.limit + 0x1000
+            self.arrays.append(arr)
+            return arr
+
+        table_entropy = max(4, min(profile.value_entropy, 16))
+        layout["table"] = alloc("table", table_words, table_entropy, is_fp=False)
+        far_words = max(ws_words, (2 * 1024 * 1024) // WORD_BYTES)
+        if profile.random_access_frac > 0.0:
+            # The heap models randomly-indexed data far larger than the
+            # trace window samples; it is marked cold so warmup does not
+            # erase the misses the full application would take.
+            layout["heap"] = alloc(
+                "heap",
+                far_words,
+                profile.value_entropy,
+                is_fp=profile.fp_program,
+                cold=True,
+            )
+        if profile.pointer_chase_frac > 0.0:
+            if profile.chase_in_cache:
+                # A graph that fits the L2: chases serialize on cache
+                # latency rather than DRAM (ammp-like chain-bound code).
+                graph_words = min(far_words, (256 * 1024) // WORD_BYTES)
+                layout["graph"] = alloc(
+                    "graph", graph_words, min(graph_words, 4096), is_fp=False
+                )
+            else:
+                layout["graph"] = alloc(
+                    "graph", far_words, min(far_words, 4096), is_fp=False, cold=True
+                )
+        if profile.fp_program:
+            layout["ftable"] = alloc("ftable", table_words, table_entropy, is_fp=True)
+            layout["fmain"] = alloc("fmain", ws_words, profile.value_entropy, is_fp=True)
+            # FP programs still keep a modest integer region for index data.
+            layout["main"] = alloc("main", max(ws_words // 8, 512), profile.value_entropy, False)
+        else:
+            layout["main"] = alloc("main", ws_words, profile.value_entropy, is_fp=False)
+        return layout
+
+    # ------------------------------------------------------------------
+    # Program sections
+    # ------------------------------------------------------------------
+
+    def _prologue(self, layout: Dict[str, DataArray]) -> None:
+        """One-shot environment setup: bases, pools, hash state, temps."""
+        self._emit(Opcode.ADDI, dst=R_MAIN_BASE, src1=int_reg(0), imm=layout["main"].base)
+        self._emit(Opcode.ADDI, dst=R_TABLE_BASE, src1=int_reg(0), imm=layout["table"].base)
+        if "fmain" in layout:
+            self._emit(Opcode.ADDI, dst=R_FPMAIN_BASE, src1=int_reg(0), imm=layout["fmain"].base)
+            self._emit(Opcode.ADDI, dst=R_FPTABLE_BASE, src1=int_reg(0), imm=layout["ftable"].base)
+        if "heap" in layout:
+            self._emit(Opcode.ADDI, dst=R_HEAP_BASE, src1=int_reg(0), imm=layout["heap"].base)
+        if "graph" in layout:
+            self._emit(Opcode.ADDI, dst=R_GRAPH_BASE, src1=int_reg(0), imm=layout["graph"].base)
+        self._emit(Opcode.ADDI, dst=R_HASH, src1=int_reg(0), imm=88172645463325252 & 0x7FFFFFFFFFFF)
+        self._emit(Opcode.ADDI, dst=R_INDEX, src1=int_reg(0), imm=0)
+
+        for reg in INT_ACCS:
+            self._emit(Opcode.ADDI, dst=reg, src1=int_reg(0), imm=1)
+        self._emit(Opcode.ADDI, dst=R_CHASE, src1=int_reg(0), imm=3)
+        pool_rng = random.Random(self.rng.randrange(1 << 30))
+        for reg in INT_POOL:
+            value = pool_rng.randrange(-1000, 1000)
+            self._emit(Opcode.ADDI, dst=reg, src1=int_reg(0), imm=value)
+        for reg in INT_TEMPS:
+            self._emit(Opcode.ADDI, dst=reg, src1=int_reg(0), imm=pool_rng.randrange(0, 64))
+            self._note_int_write(reg)
+        if "ftable" in layout:
+            ftable = layout["ftable"]
+            for slot, reg in enumerate(FP_POOL):
+                self._emit(Opcode.FLOAD, dst=reg, src1=R_FPTABLE_BASE, imm=slot * WORD_BYTES)
+            for slot, reg in enumerate(FP_TEMPS + FP_ACCS):
+                self._emit(
+                    Opcode.FLOAD,
+                    dst=reg,
+                    src1=R_FPTABLE_BASE,
+                    imm=((slot + len(FP_POOL)) % ftable.words) * WORD_BYTES,
+                )
+                if reg in FP_TEMPS:
+                    self._note_fp_write(reg)
+
+    def _helpers(self) -> None:
+        """Emit 0..2 tiny leaf functions reachable via CALL (exercises RAS)."""
+        count = 2 if self._mix["branch"] > 0.0 else 0
+        if count == 0:
+            return
+        jump_over = self._emit(Opcode.JUMP)
+        for _ in range(count):
+            self._helper_pcs.append(self._pc)
+            for _ in range(self.rng.randrange(3, 7)):
+                dst = self._next_int_temp()
+                self._emit(
+                    self.rng.choice((Opcode.ADD, Opcode.XOR, Opcode.OR)),
+                    dst=dst,
+                    src1=self._int_source(),
+                    src2=self.rng.choice(INT_POOL),
+                )
+                self._note_int_write(dst)
+            self._emit(Opcode.RET, src1=int_reg(31))
+        jump_over.target = self._pc
+
+    # -- body categories ------------------------------------------------
+
+    def _emit_int_alu(self) -> int:
+        if self.rng.random() < self.profile.accum_frac:
+            # Loop-carried update: acc = acc OP other.  Wrapping int ops
+            # keep values bounded; the chain serializes across iterations.
+            acc = self.rng.choice(self._int_accs)
+            op = self.rng.choice((Opcode.ADD, Opcode.SUB, Opcode.XOR))
+            self._emit(op, dst=acc, src1=acc, src2=self._int_source())
+            return 1
+        if self.rng.random() < self.profile.pure_frac and self._pure_int:
+            # A repetition-pure op: all inputs are invariant-derived, so
+            # the result repeats on every execution (IRB fodder).
+            pure = sorted(self._pure_int)
+            op = self.rng.choice(_INT_ALU_CHOICES)
+            dst = self._next_int_temp()
+            self._emit(op, dst=dst, src1=self.rng.choice(pure), src2=self.rng.choice(pure))
+            self._note_int_write(dst, pure=True)
+            return 1
+        op = self.rng.choice(_INT_ALU_CHOICES)
+        dst = self._next_int_temp()
+        self._emit(op, dst=dst, src1=self._int_source(), src2=self._int_source())
+        self._note_int_write(dst)
+        return 1
+
+    def _emit_int_mul(self) -> int:
+        dst = self._next_int_temp()
+        self._emit(Opcode.MUL, dst=dst, src1=self._int_source(), src2=self._int_source())
+        self._note_int_write(dst)
+        return 1
+
+    def _emit_int_div(self) -> int:
+        dst = self._next_int_temp()
+        self._emit(Opcode.DIV, dst=dst, src1=self._int_source(), src2=self._int_source())
+        self._note_int_write(dst)
+        return 1
+
+    def _emit_fp_add(self) -> int:
+        if self.rng.random() < self.profile.accum_frac:
+            # FADD/FSUB alternation keeps the accumulator magnitude a
+            # bounded random walk (an FMUL chain would saturate to inf).
+            acc = self.rng.choice(self._fp_accs)
+            op = Opcode.FADD if self._fp_acc_flip else Opcode.FSUB
+            self._fp_acc_flip = not self._fp_acc_flip
+            self._emit(op, dst=acc, src1=acc, src2=self._fp_source())
+            return 1
+        if self.rng.random() < self.profile.pure_frac and self._pure_fp:
+            pure = sorted(self._pure_fp)
+            dst = self._next_fp_temp()
+            self._emit(
+                self.rng.choice(_FP_ADD_CHOICES),
+                dst=dst,
+                src1=self.rng.choice(pure),
+                src2=self.rng.choice(pure),
+            )
+            self._note_fp_write(dst, pure=True)
+            return 1
+        dst = self._next_fp_temp()
+        self._emit(
+            self.rng.choice(_FP_ADD_CHOICES),
+            dst=dst,
+            src1=self._fp_source(),
+            src2=self._fp_source(),
+        )
+        self._note_fp_write(dst)
+        return 1
+
+    def _emit_fp_mul(self) -> int:
+        dst = self._next_fp_temp()
+        self._emit(Opcode.FMUL, dst=dst, src1=self._fp_source(), src2=self._fp_source())
+        self._note_fp_write(dst)
+        return 1
+
+    def _emit_fp_div(self) -> int:
+        dst = self._next_fp_temp()
+        if self.rng.random() < 0.3:
+            self._emit(Opcode.FSQRT, dst=dst, src1=self._fp_source())
+        else:
+            self._emit(Opcode.FDIV, dst=dst, src1=self._fp_source(), src2=self._fp_source())
+        self._note_fp_write(dst)
+        return 1
+
+    def _emit_pointer_chase(self, layout: Dict[str, DataArray]) -> int:
+        """Emit a load whose address derives from the previous chase load.
+
+        The previously-loaded value is spread across the array (shift),
+        confined and aligned (mask), and used as the next offset — a
+        serial dependence chain through memory, like real list/graph
+        traversal.
+        """
+        arr = layout["graph"]
+        shift = max(3, (arr.size_bytes - 1).bit_length() - 14)
+        prev = R_CHASE if self._chase_started else self.rng.choice(INT_POOL)
+        scratch = self._next_int_temp()
+        emitted = 4
+        self._emit(Opcode.SHL, dst=scratch, src1=prev, imm=shift)
+        if self.profile.chase_in_cache:
+            # Shift the walk each iteration: value->address chains settle
+            # into short cycles otherwise, which would sit in the L1.
+            self._emit(Opcode.XOR, dst=scratch, src1=scratch, src2=R_INDEX)
+            emitted += 1
+        else:
+            # Perturb the walk each iteration so it never revisits lines
+            # the warmup (or an earlier lap) already pulled in.
+            self._emit(Opcode.XOR, dst=scratch, src1=scratch, src2=R_HASH)
+            emitted += 1
+        self._emit(Opcode.ANDI, dst=scratch, src1=scratch, imm=arr.size_bytes - WORD_BYTES)
+        self._emit(Opcode.ADD, dst=scratch, src1=R_GRAPH_BASE, src2=scratch)
+        self._emit(Opcode.LOAD, dst=R_CHASE, src1=scratch, imm=0)
+        self._note_int_write(R_CHASE)
+        self._chase_started = True
+        self._last_load_reg = R_CHASE
+        return emitted
+
+    def _emit_load(self, layout: Dict[str, DataArray]) -> int:
+        """Emit one load plus its address-forming arithmetic."""
+        profile = self.profile
+        fp_data = profile.fp_program and "fmain" in layout
+        emitted = 0
+        # Deterministic site quotas: with per-site coin flips a 3% fraction
+        # can easily round to zero static sites in a small program.
+        self._load_sites += 1
+        if (
+            "graph" in layout
+            and self._chase_sites < profile.pointer_chase_frac * self._load_sites
+        ):
+            self._chase_sites += 1
+            return self._emit_pointer_chase(layout)
+        if (
+            "heap" in layout
+            and self._random_sites < profile.random_access_frac * self._load_sites
+        ):
+            self._random_sites += 1
+            arr = layout["heap"]
+            base = R_HEAP_BASE
+            shift = self.rng.choice((3, 7, 11, 17))
+            scratch = self._next_int_temp()
+            self._emit(Opcode.SHR, dst=scratch, src1=R_HASH, imm=shift)
+            self._emit(Opcode.ANDI, dst=scratch, src1=scratch, imm=arr.size_bytes - WORD_BYTES)
+            self._emit(Opcode.ADD, dst=scratch, src1=base, src2=scratch)
+            emitted += 3
+            addr_reg = scratch
+            offset = 0
+        else:
+            if self.rng.random() < profile.fixed_load_frac:
+                # A global/constant reference: fixed address, one
+                # instruction, identical operands on every execution.
+                fp_table = fp_data and self.rng.random() < 0.7
+                arr = layout["ftable"] if fp_table else layout["table"]
+                base = R_FPTABLE_BASE if fp_table else R_TABLE_BASE
+                offset = self.rng.randrange(0, arr.words) * WORD_BYTES
+                if arr.is_fp:
+                    dst = self._next_fp_temp()
+                    self._emit(Opcode.FLOAD, dst=dst, src1=base, imm=offset)
+                    self._note_fp_write(dst, pure=True)
+                else:
+                    dst = self._next_int_temp()
+                    self._emit(Opcode.LOAD, dst=dst, src1=base, imm=offset)
+                    self._note_int_write(dst, pure=True)
+                    self._last_load_reg = dst
+                return 1
+            arr = self._kernel_arr
+            addr_reg = R_CURSOR
+            offset = self.rng.randrange(0, 8) * WORD_BYTES
+        if arr.is_fp:
+            dst = self._next_fp_temp()
+            self._emit(Opcode.FLOAD, dst=dst, src1=addr_reg, imm=offset)
+            self._note_fp_write(dst)
+        else:
+            dst = self._next_int_temp()
+            self._emit(Opcode.LOAD, dst=dst, src1=addr_reg, imm=offset)
+            self._note_int_write(dst)
+            self._last_load_reg = dst
+        return emitted + 1
+
+    def _emit_store(self, layout: Dict[str, DataArray]) -> int:
+        arr = self._kernel_arr
+        offset = self.rng.randrange(0, 8) * WORD_BYTES
+        if arr.is_fp:
+            self._emit(Opcode.FSTORE, src1=R_CURSOR, src2=self._fp_source(), imm=offset)
+        else:
+            self._emit(Opcode.STORE, src1=R_CURSOR, src2=self._int_source(), imm=offset)
+        return 1
+
+    def _emit_branch(self, slot: int, budget: int):
+        """Emit a forward if/then skip, or occasionally a CALL.
+
+        Returns ``(emitted, branch_inst, skip_len)``; the caller patches
+        the branch target once ``skip_len`` whole emissions have followed,
+        so a skip can never land in the middle of a multi-instruction
+        sequence (address formation, chase chains).
+        """
+        if self._helper_pcs and self.rng.random() < 0.15:
+            self._emit(Opcode.CALL, dst=int_reg(31), target=self.rng.choice(self._helper_pcs))
+            return 1, None, 0
+        remaining = budget - slot - 2
+        if remaining < 2:
+            return self._emit_int_alu(), None, 0
+        skip_len = self.rng.randrange(1, min(3, remaining) + 1)
+        emitted = 1
+        noisy = self.rng.random() < self.profile.branch_noise
+        if noisy:
+            # A genuinely unpredictable, late-resolving predicate: mix the
+            # per-iteration hash with freshly loaded data, as real
+            # data-dependent branches test values produced just before.
+            predicate = self._next_int_temp()
+            if self._last_load_reg is not None:
+                mixin = self._last_load_reg
+            elif self._int_recent:
+                mixin = self._recent_pick(self._int_recent)
+            else:
+                mixin = self.rng.choice(INT_POOL)
+            self._emit(Opcode.XOR, dst=predicate, src1=R_HASH, src2=mixin)
+            self._note_int_write(predicate)
+            emitted += 1
+            op = self.rng.choice((Opcode.BLT, Opcode.BGE))
+        else:
+            if self.rng.random() < self.profile.data_branch_frac and self._int_recent:
+                predicate = self._recent_pick(self._int_recent)
+            else:
+                predicate = self.rng.choice(INT_POOL)
+            op = self.rng.choice((Opcode.BLT, Opcode.BGE, Opcode.BNE, Opcode.BEQ))
+        branch = self._emit(
+            op, src1=predicate, src2=self.rng.choice(INT_POOL), target=0
+        )
+        return emitted, branch, skip_len
+
+    # ------------------------------------------------------------------
+    # Kernel assembly
+    # ------------------------------------------------------------------
+
+    def _kernel(self, layout: Dict[str, DataArray], index: int) -> None:
+        profile = self.profile
+        rng = self.rng
+        trip = max(2, int(rng.gauss(profile.trip_count, profile.trip_count * 0.25)))
+        body_budget = max(6, int(rng.gauss(profile.body_size, profile.body_size * 0.2)))
+        # The hash register feeds both randomized addressing and noisy
+        # branch predicates; advance it whenever either consumer exists.
+        uses_random = profile.random_access_frac > 0.0 or profile.branch_noise > 0.0
+
+        # This kernel's strided data: the lookup table window or the main
+        # array, selected per kernel.
+        fp_data = profile.fp_program and "fmain" in layout
+        if rng.random() < profile.table_frac:
+            if fp_data and rng.random() < 0.7:
+                arr, base_reg = layout["ftable"], R_FPTABLE_BASE
+            else:
+                arr, base_reg = layout["table"], R_TABLE_BASE
+            window = min(arr.size_bytes, profile.table_window_words * WORD_BYTES)
+        else:
+            if fp_data:
+                arr, base_reg = layout["fmain"], R_FPMAIN_BASE
+            else:
+                arr, base_reg = layout["main"], R_MAIN_BASE
+            window = arr.size_bytes
+        self._kernel_arr = arr
+
+        self._emit(Opcode.ADDI, dst=R_COUNTER, src1=int_reg(0), imm=trip)
+        loop_top = self._pc
+        self._no_branch_until = 0
+        # Advance the cursor once per iteration; body loads are then plain
+        # base+immediate references off it.
+        self._emit(Opcode.ANDI, dst=R_CURSOR, src1=R_INDEX, imm=window - WORD_BYTES)
+        self._emit(Opcode.ADD, dst=R_CURSOR, src1=base_reg, src2=R_CURSOR)
+
+        slot = 0
+        mix = self._mix
+        categories = [c for c in mix if mix[c] > 0]
+        weights = [mix[c] for c in categories]
+        # An open skip branch waiting for its target: (inst, emissions left).
+        open_branch = None
+        while slot < body_budget:
+            category = rng.choices(categories, weights=weights)[0]
+            if category == "branch" and open_branch is not None:
+                category = "int_alu"  # no nested/overlapping skips
+            if category == "int_alu":
+                emitted = self._emit_int_alu()
+            elif category == "int_mul":
+                emitted = self._emit_int_mul()
+            elif category == "int_div":
+                emitted = self._emit_int_div()
+            elif category == "fp_add":
+                emitted = self._emit_fp_add()
+            elif category == "fp_mul":
+                emitted = self._emit_fp_mul()
+            elif category == "fp_div":
+                emitted = self._emit_fp_div()
+            elif category == "load":
+                emitted = self._emit_load(layout)
+            elif category == "store":
+                emitted = self._emit_store(layout)
+            else:
+                emitted, branch, skip_len = self._emit_branch(slot, body_budget)
+                slot += emitted
+                if branch is not None:
+                    open_branch = (branch, skip_len)
+                continue
+            slot += emitted
+            if open_branch is not None:
+                branch, left = open_branch
+                left -= 1
+                if left <= 0:
+                    branch.target = self._pc
+                    open_branch = None
+                else:
+                    open_branch = (branch, left)
+        if open_branch is not None:
+            open_branch[0].target = self._pc
+
+        # Structural tail: hash advance (if needed), induction, counter,
+        # back edge.
+        if uses_random:
+            self._emit(Opcode.MUL, dst=R_HASH, src1=R_HASH, imm=_LCG_MUL)
+            self._emit(Opcode.ADDI, dst=R_HASH, src1=R_HASH, imm=_LCG_ADD & 0xFFFF)
+        self._emit(
+            Opcode.ADDI,
+            dst=R_INDEX,
+            src1=R_INDEX,
+            imm=profile.stride_words * WORD_BYTES,
+        )
+        self._emit(Opcode.ADDI, dst=R_COUNTER, src1=R_COUNTER, imm=-1)
+        self._emit(Opcode.BNE, src1=R_COUNTER, src2=int_reg(0), target=loop_top)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Program:
+        """Produce the program image for this generator's profile."""
+        layout = self._allocate_arrays()
+        self._prologue(layout)
+        self._helpers()
+        loop_entry = self._pc
+        for index in range(self.profile.num_kernels):
+            self._kernel(layout, index)
+        self._emit(Opcode.JUMP, target=loop_entry)
+        return Program(
+            name=self.profile.name,
+            insts=self.insts,
+            arrays=self.arrays,
+            entry=0,
+            loop_entry=loop_entry,
+            seed=self.seed,
+        )
+
+
+def generate_program(profile: WorkloadProfile, seed: int = 1) -> Program:
+    """Convenience wrapper: generate one program from ``profile``."""
+    return ProgramGenerator(profile, seed=seed).generate()

@@ -1,0 +1,479 @@
+"""Per-application workload profiles.
+
+The paper evaluates 12 SPEC2000 applications on SimPoint regions of real
+binaries.  SPEC binaries (and a machine fast enough to run them through a
+cycle-level Python model) are not available here, so each application is
+replaced by a *profile*: a parameter vector for the synthetic program
+generator, calibrated to the published characteristics of that application
+— instruction mix, ILP (dependence distance), working-set size and access
+pattern, branch predictability, static code footprint, and value locality.
+
+Value locality is the load-bearing one for this paper: the IRB's hit rate
+must *emerge* from repeated operand values in the generated program (loop
+invariants, low-entropy data), not from a dialed-in hit probability.
+Integer codes with rich reuse in the literature (gcc, vortex) get larger
+invariant pools and lower data entropy; streaming FP codes get repetition
+through periodic array contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+#: Instruction-mix categories understood by the generator.
+MIX_CATEGORIES = (
+    "int_alu",
+    "int_mul",
+    "int_div",
+    "fp_add",
+    "fp_mul",
+    "fp_div",
+    "load",
+    "store",
+    "branch",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters modelling one application.
+
+    Attributes:
+        name: application label (SPEC2000 benchmark name).
+        mix: relative weights over :data:`MIX_CATEGORIES`; normalized by
+            the generator.  Loop-control instructions (counter updates and
+            back-edge branches) are structural and come on top of the mix.
+        dep_distance: mean distance (in producing instructions) from which
+            a source operand is drawn.  Small values chain instructions
+            tightly (low ILP); large values expose parallelism.
+        accum_frac: probability that an ALU-category op is a loop-carried
+            accumulator update (acc = acc OP x).  These chains serialize
+            across iterations, bounding dataflow ILP the way CRC/hash/
+            state updates do in real code — the window cannot buy them
+            back, which is what keeps a core ALU-bound rather than
+            window-bound.
+        invariant_frac: probability that a source operand comes from the
+            loop-invariant register pool — the main dial for value-level
+            instruction repetition.
+        induction_frac: probability that a source operand is the induction
+            variable (values never repeat; defeats reuse).
+        value_entropy: number of distinct base values in data arrays.
+        working_set_kb: total data footprint in KiB (drives cache misses).
+        random_access_frac: fraction of memory operations using a hashed
+            (pseudo-random) index instead of a strided one.
+        pointer_chase_frac: fraction of loads whose address depends on the
+            value returned by the previous such load — real pointer
+            chasing: it serializes the misses, so a larger window buys no
+            memory-level parallelism (mcf-like behaviour).
+        stride_words: stride, in 8-byte words, of the regular access
+            stream.
+        branch_noise: fraction of data-dependent branches whose predicate
+            value is high-entropy (hard to predict).
+        data_branch_frac: fraction of mix-category branches that are
+            data-dependent if/then patterns (the rest are highly-biased
+            guard branches).
+        num_kernels: number of distinct inner loops (static footprint).
+        body_size: mean instructions per loop body (before structural
+            overhead).
+        trip_count: mean inner-loop trip count.
+        fp_program: whether FP registers/arrays dominate (affects array
+            typing and the invariant pool).
+        pure_frac: probability that an ALU-category op draws all inputs
+            from repetition-pure registers (invariants and fixed-load
+            results), producing the same value on every execution — the
+            dependence-slice repetition that instruction reuse feeds on.
+        fixed_load_frac: fraction of non-random loads that read a fixed
+            table address (globals/constants in real code).  These loads —
+            and computation fed by them — repeat operand values on every
+            execution, which is the dominant source of instruction reuse
+            in the IR literature.
+        table_frac: fraction of non-random loads that read the small
+            lookup table instead of the streaming array.
+        table_window_words: table accesses are confined to a window of
+            this many words, so their addresses (and hence values) recur
+            with a short period — the locality that lookup tables,
+            constants and hot globals exhibit in real code.
+    """
+
+    name: str
+    mix: Dict[str, float]
+    dep_distance: float = 6.0
+    accum_frac: float = 0.0
+    invariant_frac: float = 0.35
+    induction_frac: float = 0.10
+    value_entropy: int = 64
+    working_set_kb: int = 64
+    random_access_frac: float = 0.0
+    pointer_chase_frac: float = 0.0
+    stride_words: int = 1
+    branch_noise: float = 0.15
+    data_branch_frac: float = 0.6
+    num_kernels: int = 8
+    body_size: int = 24
+    trip_count: int = 48
+    fp_program: bool = False
+    chase_in_cache: bool = False
+    fixed_load_frac: float = 0.30
+    pure_frac: float = 0.25
+    table_frac: float = 0.40
+    table_window_words: int = 64
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.mix) - set(MIX_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown mix categories: {sorted(unknown)}")
+        if not any(w > 0 for w in self.mix.values()):
+            raise ValueError("mix must have at least one positive weight")
+        if not 0.0 <= self.invariant_frac <= 1.0:
+            raise ValueError("invariant_frac must be a probability")
+        if not 0.0 <= self.induction_frac <= 1.0:
+            raise ValueError("induction_frac must be a probability")
+        if self.invariant_frac + self.induction_frac > 1.0:
+            raise ValueError("invariant_frac + induction_frac must be <= 1")
+        if self.value_entropy < 1:
+            raise ValueError("value_entropy must be >= 1")
+        if self.working_set_kb < 1:
+            raise ValueError("working_set_kb must be >= 1")
+        if not 0.0 <= self.table_frac <= 1.0:
+            raise ValueError("table_frac must be a probability")
+        if not 0.0 <= self.pointer_chase_frac <= 1.0:
+            raise ValueError("pointer_chase_frac must be a probability")
+        if self.table_window_words < 1 or (
+            self.table_window_words & (self.table_window_words - 1)
+        ):
+            raise ValueError("table_window_words must be a power of two")
+
+    def normalized_mix(self) -> Dict[str, float]:
+        """Mix weights normalized to sum to 1 over all categories."""
+        total = sum(self.mix.values())
+        return {cat: self.mix.get(cat, 0.0) / total for cat in MIX_CATEGORIES}
+
+
+def _int_mix(
+    alu: float = 0.50,
+    mul: float = 0.01,
+    div: float = 0.0,
+    load: float = 0.26,
+    store: float = 0.10,
+    branch: float = 0.13,
+) -> Dict[str, float]:
+    return {
+        "int_alu": alu,
+        "int_mul": mul,
+        "int_div": div,
+        "load": load,
+        "store": store,
+        "branch": branch,
+    }
+
+
+def _fp_mix(
+    alu: float = 0.22,
+    fadd: float = 0.22,
+    fmul: float = 0.14,
+    fdiv: float = 0.01,
+    load: float = 0.27,
+    store: float = 0.08,
+    branch: float = 0.06,
+) -> Dict[str, float]:
+    return {
+        "int_alu": alu,
+        "fp_add": fadd,
+        "fp_mul": fmul,
+        "fp_div": fdiv,
+        "load": load,
+        "store": store,
+        "branch": branch,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The 12 applications.  Integer codes first, then floating point, mirroring
+# the paper's benchmark table.  Comments give the characteristic each
+# parameter choice is calibrated against.
+# ---------------------------------------------------------------------------
+
+SPEC2000_PROFILES: Tuple[WorkloadProfile, ...] = (
+    # gzip: compression — CRC/hash accumulators serialize iterations; the
+    # window and table data are cache-resident, so duplication pressure
+    # lands squarely on the integer ALUs.
+    WorkloadProfile(
+        name="gzip",
+        mix=_int_mix(alu=0.54, load=0.22, store=0.09, branch=0.15),
+        dep_distance=3.0,
+        accum_frac=0.55,
+        pure_frac=0.50,
+        fixed_load_frac=0.45,
+        invariant_frac=0.32,
+        induction_frac=0.05,
+        value_entropy=32,
+        working_set_kb=128,
+        random_access_frac=0.004,
+        branch_noise=0.30,
+        table_frac=0.45,
+        table_window_words=32,
+        num_kernels=8,
+        body_size=22,
+        trip_count=64,
+    ),
+    # vpr: place & route — noisier branches, a few far-heap references.
+    WorkloadProfile(
+        name="vpr",
+        mix=_int_mix(alu=0.48, mul=0.02, load=0.28, store=0.08, branch=0.14),
+        dep_distance=3.0,
+        accum_frac=0.45,
+        pure_frac=0.45,
+        fixed_load_frac=0.40,
+        invariant_frac=0.30,
+        induction_frac=0.05,
+        value_entropy=48,
+        working_set_kb=128,
+        random_access_frac=0.006,
+        branch_noise=0.38,
+        table_frac=0.40,
+        table_window_words=32,
+        num_kernels=10,
+        body_size=26,
+        trip_count=40,
+    ),
+    # gcc: compiler — very large static footprint (pressures a 1024-entry
+    # IRB), branchy, famously high instruction-reuse rates (constant
+    # tables, repeated tree-walk slices).
+    WorkloadProfile(
+        name="gcc",
+        mix=_int_mix(alu=0.50, load=0.25, store=0.10, branch=0.15),
+        dep_distance=3.0,
+        accum_frac=0.50,
+        pure_frac=0.55,
+        fixed_load_frac=0.50,
+        invariant_frac=0.36,
+        induction_frac=0.04,
+        value_entropy=16,
+        working_set_kb=128,
+        random_access_frac=0.005,
+        branch_noise=0.35,
+        table_frac=0.45,
+        table_window_words=32,
+        num_kernels=36,
+        body_size=34,
+        trip_count=12,
+    ),
+    # mcf: shortest path over a huge graph — serialized pointer chasing
+    # through DRAM plus a few parallel far references; very low IPC.
+    WorkloadProfile(
+        name="mcf",
+        mix=_int_mix(alu=0.42, load=0.34, store=0.08, branch=0.16),
+        dep_distance=3.0,
+        accum_frac=0.30,
+        pure_frac=0.30,
+        fixed_load_frac=0.35,
+        invariant_frac=0.30,
+        induction_frac=0.05,
+        value_entropy=64,
+        working_set_kb=8192,
+        random_access_frac=0.30,
+        pointer_chase_frac=0.15,
+        branch_noise=0.25,
+        table_frac=0.30,
+        num_kernels=6,
+        body_size=20,
+        trip_count=56,
+    ),
+    # parser: dictionary word processing — branchy, mispredict-heavy.
+    WorkloadProfile(
+        name="parser",
+        mix=_int_mix(alu=0.47, load=0.26, store=0.09, branch=0.18),
+        dep_distance=3.0,
+        accum_frac=0.50,
+        pure_frac=0.45,
+        fixed_load_frac=0.42,
+        invariant_frac=0.32,
+        induction_frac=0.05,
+        value_entropy=32,
+        working_set_kb=96,
+        random_access_frac=0.004,
+        branch_noise=0.40,
+        table_frac=0.42,
+        table_window_words=32,
+        num_kernels=14,
+        body_size=18,
+        trip_count=24,
+    ),
+    # bzip2: block-sorting compression — compute-dense with strong
+    # loop-carried state, block-resident data.
+    WorkloadProfile(
+        name="bzip2",
+        mix=_int_mix(alu=0.56, load=0.23, store=0.10, branch=0.11),
+        dep_distance=3.5,
+        accum_frac=0.55,
+        pure_frac=0.45,
+        fixed_load_frac=0.35,
+        invariant_frac=0.26,
+        induction_frac=0.06,
+        value_entropy=48,
+        working_set_kb=128,
+        random_access_frac=0.003,
+        branch_noise=0.25,
+        table_frac=0.35,
+        table_window_words=64,
+        num_kernels=7,
+        body_size=28,
+        trip_count=96,
+    ),
+    # twolf: standard-cell placement — small kernels, noisy branches.
+    WorkloadProfile(
+        name="twolf",
+        mix=_int_mix(alu=0.46, mul=0.03, load=0.27, store=0.08, branch=0.16),
+        dep_distance=3.0,
+        accum_frac=0.45,
+        pure_frac=0.45,
+        fixed_load_frac=0.40,
+        invariant_frac=0.30,
+        induction_frac=0.05,
+        value_entropy=48,
+        working_set_kb=96,
+        random_access_frac=0.006,
+        branch_noise=0.40,
+        table_frac=0.40,
+        table_window_words=32,
+        num_kernels=12,
+        body_size=20,
+        trip_count=28,
+    ),
+    # vortex: OO database — big code footprint, predictable control, very
+    # repetitive data movement (high reuse).
+    WorkloadProfile(
+        name="vortex",
+        mix=_int_mix(alu=0.49, load=0.27, store=0.12, branch=0.12),
+        dep_distance=3.0,
+        accum_frac=0.62,
+        pure_frac=0.55,
+        fixed_load_frac=0.50,
+        invariant_frac=0.36,
+        induction_frac=0.04,
+        value_entropy=16,
+        working_set_kb=128,
+        random_access_frac=0.003,
+        branch_noise=0.18,
+        table_frac=0.50,
+        table_window_words=32,
+        num_kernels=28,
+        body_size=30,
+        trip_count=16,
+    ),
+    # wupwise: quantum chromodynamics — dense FP mul/add with loop-carried
+    # reductions; cache-blocked streams.
+    WorkloadProfile(
+        name="wupwise",
+        mix=_fp_mix(alu=0.20, fadd=0.24, fmul=0.20, fdiv=0.012, load=0.26, store=0.07, branch=0.05),
+        dep_distance=2.5,
+        accum_frac=0.50,
+        pure_frac=0.45,
+        fixed_load_frac=0.40,
+        invariant_frac=0.24,
+        induction_frac=0.05,
+        value_entropy=24,
+        working_set_kb=512,
+        stride_words=4,
+        random_access_frac=0.004,
+        branch_noise=0.10,
+        table_frac=0.40,
+        table_window_words=64,
+        num_kernels=6,
+        body_size=36,
+        trip_count=128,
+        fp_program=True,
+    ),
+    # art: neural-network image recognition — indexed access across F1
+    # layers far larger than the L2; abundant memory-level parallelism
+    # that the halved DIE window cannot cover.  The paper's outlier
+    # (worst DIE loss, best response to 2xRUU).
+    WorkloadProfile(
+        name="art",
+        mix=_fp_mix(alu=0.18, fadd=0.24, fmul=0.16, fdiv=0.002, load=0.32, store=0.05, branch=0.05),
+        dep_distance=10.0,
+        accum_frac=0.10,
+        pure_frac=0.30,
+        fixed_load_frac=0.30,
+        invariant_frac=0.32,
+        induction_frac=0.08,
+        value_entropy=12,
+        working_set_kb=4096,
+        random_access_frac=0.85,
+        branch_noise=0.04,
+        table_frac=0.35,
+        table_window_words=32,
+        num_kernels=5,
+        body_size=30,
+        trip_count=200,
+        fp_program=True,
+    ),
+    # equake: earthquake FE solver — sparse matrix-vector with mixed
+    # strided/indexed access and FP reductions.
+    WorkloadProfile(
+        name="equake",
+        mix=_fp_mix(alu=0.22, fadd=0.22, fmul=0.15, fdiv=0.006, load=0.28, store=0.07, branch=0.06),
+        dep_distance=3.0,
+        accum_frac=0.48,
+        pure_frac=0.42,
+        fixed_load_frac=0.35,
+        invariant_frac=0.26,
+        induction_frac=0.05,
+        value_entropy=32,
+        working_set_kb=1024,
+        random_access_frac=0.02,
+        branch_noise=0.10,
+        table_frac=0.35,
+        table_window_words=32,
+        num_kernels=7,
+        body_size=28,
+        trip_count=80,
+        fp_program=True,
+    ),
+    # ammp: molecular dynamics — neighbour-list walks through L2-resident
+    # structures serialize the iteration; the ALUs idle behind the chain,
+    # so duplication is nearly free (the paper's ~1% loss outlier).
+    WorkloadProfile(
+        name="ammp",
+        mix=_fp_mix(alu=0.18, fadd=0.20, fmul=0.16, fdiv=0.02, load=0.32, store=0.06, branch=0.06),
+        dep_distance=2.0,
+        accum_frac=0.50,
+        pure_frac=0.25,
+        fixed_load_frac=0.35,
+        invariant_frac=0.22,
+        induction_frac=0.04,
+        value_entropy=32,
+        working_set_kb=192,
+        pointer_chase_frac=0.50,
+        chase_in_cache=True,
+        branch_noise=0.08,
+        table_frac=0.40,
+        table_window_words=32,
+        num_kernels=6,
+        body_size=26,
+        trip_count=64,
+        fp_program=True,
+    ),
+)
+
+
+PROFILES_BY_NAME: Dict[str, WorkloadProfile] = {p.name: p for p in SPEC2000_PROFILES}
+
+#: Names in the paper's presentation order (integer first, then FP).
+APP_NAMES: Tuple[str, ...] = tuple(p.name for p in SPEC2000_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by benchmark name.
+
+    Raises :class:`KeyError` with the available names on a miss.
+    """
+    try:
+        return PROFILES_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(APP_NAMES)}"
+        ) from None

@@ -1,0 +1,115 @@
+"""Program image container for synthesized workloads.
+
+A :class:`Program` is the static artifact produced by the generator: a
+dense array of :class:`~repro.isa.StaticInst` (PCs are ``4 * index``), a
+description of its data arrays, and the initial register environment set up
+by its prologue.  The functional executor interprets it; the timing models
+never see it directly (they consume the dynamic trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa import StaticInst
+
+INST_BYTES = 4
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class DataArray:
+    """One data array in the synthetic address space.
+
+    Attributes:
+        name: generator-assigned label (for diagnostics).
+        base: byte address of the first element (word aligned).
+        words: number of 8-byte elements.
+        entropy: number of distinct base values used to initialize the
+            array; small values create value-repetitive data, which is what
+            gives instruction reuse its bite.
+        is_fp: whether elements are floating point.
+        cold: the array models a heap far larger than the trace window
+            samples; cache warmup must skip it so the timing run pays the
+            misses the full application would pay.
+    """
+
+    name: str
+    base: int
+    words: int
+    entropy: int
+    is_fp: bool = False
+    cold: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return self.words * WORD_BYTES
+
+    @property
+    def limit(self) -> int:
+        """One past the last valid byte address."""
+        return self.base + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.limit
+
+
+@dataclass
+class Program:
+    """A complete synthetic program image.
+
+    Attributes:
+        name: profile name this program was generated from.
+        insts: static instructions; ``insts[i].pc == 4 * i``.
+        arrays: data arrays referenced by loads/stores.
+        entry: PC of the first instruction to execute.
+        loop_entry: PC the outer infinite loop jumps back to (after the
+            one-shot prologue), useful for structural analysis.
+        seed: RNG seed the generator used, for provenance.
+    """
+
+    name: str
+    insts: List[StaticInst]
+    arrays: List[DataArray]
+    entry: int = 0
+    loop_entry: int = 0
+    seed: int = 0
+    _by_pc: Dict[int, StaticInst] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for index, inst in enumerate(self.insts):
+            expected = index * INST_BYTES
+            if inst.pc != expected:
+                raise ValueError(
+                    f"instruction {index} has pc {inst.pc:#x}, expected {expected:#x}"
+                )
+        self._by_pc = {inst.pc: inst for inst in self.insts}
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def at(self, pc: int) -> StaticInst:
+        """Fetch the static instruction at ``pc``.
+
+        Raises :class:`KeyError` for a PC outside the image — the executor
+        treats that as a generator bug, never as normal control flow.
+        """
+        return self._by_pc[pc]
+
+    def array_for(self, addr: int) -> Optional[DataArray]:
+        """Return the array containing byte address ``addr``, if any."""
+        for arr in self.arrays:
+            if arr.contains(addr):
+                return arr
+        return None
+
+    @property
+    def static_footprint(self) -> int:
+        """Number of static instructions (IRB capacity pressure proxy)."""
+        return len(self.insts)
+
+    def listing(self, start: int = 0, count: Optional[int] = None) -> str:
+        """Human-readable disassembly, for debugging generators."""
+        sel = self.insts[start : start + count if count is not None else None]
+        return "\n".join(str(inst) for inst in sel)

@@ -1,0 +1,115 @@
+"""Dynamic trace container and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from ..isa import FUClass, TraceInst, is_cond_branch
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate characteristics of a trace, for calibration and tests.
+
+    Attributes:
+        length: dynamic instruction count.
+        unique_pcs: static instructions touched (IRB footprint proxy).
+        fu_mix: fraction of instructions per functional-unit class.
+        load_frac / store_frac / branch_frac: category fractions.
+        taken_frac: fraction of conditional branches taken.
+        value_repetition: fraction of dynamic instructions whose
+            (pc, src1_val, src2_val) triple was seen earlier in the trace —
+            an upper bound on what an infinite IRB could reuse.
+    """
+
+    length: int
+    unique_pcs: int
+    fu_mix: Dict[FUClass, float]
+    load_frac: float
+    store_frac: float
+    branch_frac: float
+    taken_frac: float
+    value_repetition: float
+
+
+class Trace:
+    """A value-accurate dynamic instruction stream.
+
+    Supports len/iteration/indexing; the timing models treat it as an
+    immutable sequence.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        insts: Sequence[TraceInst],
+        static_footprint: int = 0,
+        cold_ranges: Sequence = (),
+    ):
+        self.name = name
+        self.insts: List[TraceInst] = list(insts)
+        self.static_footprint = static_footprint
+        #: (base, limit) byte ranges that cache warmup must skip: they model
+        #: heap data far larger than the trace window samples.
+        self.cold_ranges = tuple(cold_ranges)
+
+    def is_cold(self, addr: int) -> bool:
+        """True if ``addr`` lies in a region warmup must not touch."""
+        for base, limit in self.cold_ranges:
+            if base <= addr < limit:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self) -> Iterator[TraceInst]:
+        return iter(self.insts)
+
+    def __getitem__(self, index):
+        return self.insts[index]
+
+    def summary(self) -> TraceSummary:
+        """Compute aggregate statistics (one pass over the trace)."""
+        n = len(self.insts)
+        if n == 0:
+            raise ValueError("cannot summarize an empty trace")
+        fu_counts: Dict[FUClass, int] = {}
+        loads = stores = branches = cond = taken = 0
+        seen = set()
+        repeated = 0
+        pcs = set()
+        for inst in self.insts:
+            pcs.add(inst.pc)
+            fu_counts[inst.fu] = fu_counts.get(inst.fu, 0) + 1
+            if inst.is_load:
+                loads += 1
+            elif inst.is_store:
+                stores += 1
+            elif inst.is_branch:
+                branches += 1
+                if is_cond_branch(inst.opcode):
+                    cond += 1
+                    if inst.taken:
+                        taken += 1
+            key = (inst.pc, _hashable(inst.src1_val), _hashable(inst.src2_val))
+            if key in seen:
+                repeated += 1
+            else:
+                seen.add(key)
+        return TraceSummary(
+            length=n,
+            unique_pcs=len(pcs),
+            fu_mix={fu: count / n for fu, count in sorted(fu_counts.items())},
+            load_frac=loads / n,
+            store_frac=stores / n,
+            branch_frac=branches / n,
+            taken_frac=taken / cond if cond else 0.0,
+            value_repetition=repeated / n,
+        )
+
+
+def _hashable(value: object) -> object:
+    """Values in traces are ints, floats or None — already hashable."""
+    return value

@@ -1,0 +1,67 @@
+"""Value arithmetic helpers for the functional executor.
+
+Integer state is modelled as 64-bit two's-complement (matching the Alpha
+target of the paper's SimpleScalar platform); Python's unbounded ints are
+wrapped after every operation.  Floating-point state uses the host double,
+which is what a 64-bit FP register file holds anyway.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Wrap an unbounded int to signed 64-bit two's complement."""
+    value &= _MASK64
+    if value & _SIGN64:
+        value -= 1 << 64
+    return value
+
+
+def to_unsigned64(value: int) -> int:
+    """Reinterpret a signed 64-bit value as unsigned (for shifts/masks)."""
+    return value & _MASK64
+
+
+def int_div(a: int, b: int) -> int:
+    """Truncating signed division; division by zero yields 0.
+
+    Real hardware would trap; the synthetic workloads never divide by zero
+    on purpose, and defining the edge keeps the executor total.
+    """
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap64(q)
+
+
+def fp_canon(value: float) -> float:
+    """Canonicalize a float for storage/comparison.
+
+    NaNs are collapsed to a single quiet NaN representation (0.0 here) and
+    infinities are clamped to large finite magnitudes so reuse-test equality
+    is well defined and the synthetic value streams stay finite.
+    """
+    if math.isnan(value):
+        return 0.0
+    if math.isinf(value):
+        return math.copysign(1e308, value)
+    return value
+
+
+def fp_sqrt(value: float) -> float:
+    """Square root, total on negative inputs (mirrors |x| like some DSPs)."""
+    return math.sqrt(abs(value))
+
+
+def fp_div(a: float, b: float) -> float:
+    """Division, total on a zero divisor."""
+    if b == 0.0:
+        return fp_canon(math.copysign(1e308, a) if a else 0.0)
+    return fp_canon(a / b)

@@ -1,0 +1,51 @@
+"""Session-scoped fixtures shared across the test suite.
+
+Workload generation and simulation are deterministic, so traces and
+baseline results are built once per session and reused; individual tests
+must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.simulation import get_trace, simulate
+
+
+SMALL_N = 6_000
+
+
+@pytest.fixture(scope="session")
+def gzip_trace():
+    return get_trace("gzip", SMALL_N)
+
+
+@pytest.fixture(scope="session")
+def ammp_trace():
+    return get_trace("ammp", SMALL_N)
+
+
+@pytest.fixture(scope="session")
+def art_trace():
+    return get_trace("art", SMALL_N)
+
+
+@pytest.fixture(scope="session")
+def baseline_config():
+    return MachineConfig.baseline()
+
+
+@pytest.fixture(scope="session")
+def gzip_sie(gzip_trace):
+    return simulate(gzip_trace, "sie")
+
+
+@pytest.fixture(scope="session")
+def gzip_die(gzip_trace):
+    return simulate(gzip_trace, "die")
+
+
+@pytest.fixture(scope="session")
+def gzip_die_irb(gzip_trace):
+    return simulate(gzip_trace, "die-irb")

@@ -1,0 +1,206 @@
+"""Unit and property tests for the branch-prediction substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    HybridPredictor,
+    ReturnAddressStack,
+    SaturatingCounter,
+    make_predictor,
+)
+
+
+class TestSaturatingCounter:
+    def test_initial_is_weakly_not_taken(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 2
+        assert counter.taken
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+
+    @given(st.lists(st.booleans(), max_size=50), st.integers(1, 4))
+    def test_value_always_in_range(self, outcomes, bits):
+        counter = SaturatingCounter(bits=bits)
+        for outcome in outcomes:
+            counter.update(outcome)
+            assert 0 <= counter.value <= counter.max
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        pred = BimodalPredictor(entries=64)
+        for _ in range(4):
+            pred.update(0x100, True, pred.predict(0x100))
+        assert pred.predict(0x100)
+
+    def test_learns_always_not_taken(self):
+        pred = BimodalPredictor(entries=64)
+        for _ in range(4):
+            pred.update(0x100, False, pred.predict(0x100))
+        assert not pred.predict(0x100)
+
+    def test_accuracy_tracking(self):
+        pred = BimodalPredictor(entries=64)
+        for _ in range(100):
+            pred.update(0x40, True, pred.predict(0x40))
+        assert pred.stats.accuracy > 0.9
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        pred = BimodalPredictor(entries=64)
+        for _ in range(4):
+            pred.update(0x100, True, True)
+            pred.update(0x104, False, False)
+        assert pred.predict(0x100)
+        assert not pred.predict(0x104)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N is invisible to bimodal but trivial for global history.
+        pred = GsharePredictor(entries=1024, history_bits=8)
+        outcomes = [bool(i % 2) for i in range(400)]
+        correct = 0
+        for outcome in outcomes:
+            predicted = pred.predict(0x200)
+            correct += predicted == outcome
+            pred.update(0x200, outcome, predicted)
+        assert correct / len(outcomes) > 0.9
+
+    def test_history_updates(self):
+        pred = GsharePredictor(history_bits=4)
+        pred.update(0x10, True, True)
+        pred.update(0x10, False, True)
+        assert pred.history == 0b10
+
+    def test_history_masked(self):
+        pred = GsharePredictor(history_bits=3)
+        for _ in range(10):
+            pred.update(0x10, True, True)
+        assert pred.history == 0b111
+
+
+class TestHybrid:
+    def test_beats_components_on_mixed_workload(self):
+        hybrid = HybridPredictor()
+        # Two branches: one alternating (gshare territory), one biased
+        # (bimodal territory).
+        for i in range(300):
+            for pc, outcome in ((0x30, bool(i % 2)), (0x60, True)):
+                predicted = hybrid.predict(pc)
+                hybrid.update(pc, outcome, predicted)
+        assert hybrid.stats.accuracy > 0.85
+
+    def test_factory(self):
+        for kind in ("bimodal", "gshare", "hybrid", "taken", "nottaken", "perfect"):
+            predictor = make_predictor(kind)
+            assert hasattr(predictor, "predict")
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_predictor("tage")
+
+    def test_reset_stats_keeps_training(self):
+        pred = BimodalPredictor(entries=64)
+        for _ in range(8):
+            pred.update(0x100, True, pred.predict(0x100))
+        pred.reset_stats()
+        assert pred.stats.lookups == 0
+        assert pred.predict(0x100)  # trained state survives
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x1000)
+        assert btb.lookup(0x400) == 0x1000
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.update(0x400, 0x1000)
+        btb.update(0x400, 0x2000)
+        assert btb.lookup(0x400) == 0x2000
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x0, 0xA)
+        btb.update(0x4, 0xB)
+        btb.lookup(0x0)  # refresh 0x0
+        btb.update(0x8, 0xC)  # evicts 0x4
+        assert btb.lookup(0x0) == 0xA
+        assert btb.lookup(0x4) is None
+
+    def test_hit_rate_accounting(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        btb.lookup(0x4)
+        btb.update(0x4, 0x8)
+        btb.lookup(0x4)
+        assert btb.hits == 1 and btb.misses == 1
+        assert btb.hit_rate == 0.5
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 4095)), max_size=60))
+    def test_lookup_returns_last_update(self, updates):
+        btb = BranchTargetBuffer(sets=4, ways=4)
+        last = {}
+        for pc4, target in updates:
+            pc = pc4 * 4
+            btb.update(pc, target)
+            last[pc] = target
+        # Whatever is still resident must be the most recent target.
+        for pc, target in last.items():
+            found = btb.lookup(pc)
+            assert found is None or found == target
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(depth=4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        for value in (1, 2, 3):
+            ras.push(value)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=40))
+    def test_depth_never_exceeded(self, operations):
+        ras = ReturnAddressStack(depth=3)
+        for index, op in enumerate(operations):
+            if op == "push":
+                ras.push(index)
+            else:
+                ras.pop()
+            assert len(ras) <= 3

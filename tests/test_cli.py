@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "die-irb" in out and "F2" in out
+
+
+class TestRun:
+    def test_run_prints_ipc(self, capsys):
+        assert main(["run", "gzip", "--n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC:" in out and "gzip on SIE" in out
+
+    def test_run_irb_model_prints_reuse(self, capsys):
+        assert main(["run", "gzip", "--model", "die-irb", "--n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "reuse rate" in out and "pairs checked" in out
+
+    def test_run_with_scaling(self, capsys):
+        assert main(["run", "gzip", "--n", "3000", "--scale-alu", "2"]) == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "crysis"])
+
+
+class TestCompare:
+    def test_compare_rows(self, capsys):
+        assert main(["compare", "ammp", "--n", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "SIE" in out and "DIE-IRB" in out and "loss% vs SIE" in out
+
+
+class TestExperiment:
+    def test_experiment_runs(self, capsys):
+        code = main(["experiment", "T1"])
+        assert code == 0
+        assert "RUU / LSQ" in capsys.readouterr().out
+
+    def test_experiment_with_args(self, capsys):
+        code = main(["experiment", "F6", "--apps", "gzip", "--n", "3000"])
+        assert code == 0
+        assert "gzip" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "F99"]) == 2
+        assert "F2" in capsys.readouterr().err
+
+
+class TestCompareModels:
+    def test_custom_model_list(self, capsys):
+        assert main(["compare", "gzip", "--n", "3000", "--models", "sie,srt,die-vp"]) == 0
+        out = capsys.readouterr().out
+        assert "SRT" in out and "DIE-VP" in out
+
+    def test_sie_baseline_inserted(self, capsys):
+        assert main(["compare", "gzip", "--n", "3000", "--models", "die"]) == 0
+        assert "SIE" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self, capsys):
+        assert main(["compare", "gzip", "--models", "die,warp"]) == 2
+        assert "warp" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_mode_emits_valid_json(self, capsys):
+        import json
+
+        assert main(["run", "gzip", "--n", "3000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["committed"] == 3000
+        assert "ipc" in payload and payload["ipc"] > 0
+
+    def test_json_mode_names_fu_classes(self, capsys):
+        import json
+
+        assert main(["run", "gzip", "--n", "3000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "INT_ALU" in payload["fu_issued"]

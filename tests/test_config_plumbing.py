@@ -1,0 +1,71 @@
+"""Configuration plumbing: custom parameters must reach the models."""
+
+import dataclasses
+
+from repro.core import MachineConfig
+from repro.isa import FUClass
+from repro.memory import CacheConfig, DRAMConfig, HierarchyConfig
+from repro.simulation import get_trace, simulate
+
+
+class TestHierarchyPlumbing:
+    def test_custom_cache_geometry_reaches_pipeline(self, gzip_trace):
+        hierarchy = HierarchyConfig(
+            l1d=CacheConfig(name="L1D", size_bytes=8 * 1024, line_bytes=64, ways=2, hit_latency=3)
+        )
+        config = dataclasses.replace(MachineConfig.baseline(), hierarchy=hierarchy)
+        result = simulate(gzip_trace, "sie", config=config)
+        assert result.pipeline.hier.l1d.config.size_bytes == 8 * 1024
+        assert result.pipeline.hier.l1d.config.hit_latency == 3
+
+    def test_smaller_l1_misses_more(self, gzip_trace):
+        tiny = HierarchyConfig(
+            l1d=CacheConfig(name="L1D", size_bytes=4 * 1024, line_bytes=64, ways=1, hit_latency=2)
+        )
+        config = dataclasses.replace(MachineConfig.baseline(), hierarchy=tiny)
+        small = simulate(gzip_trace, "sie", config=config)
+        base = simulate(gzip_trace, "sie")
+        assert (
+            small.pipeline.hier.l1d.stats.miss_rate
+            >= base.pipeline.hier.l1d.stats.miss_rate
+        )
+
+    def test_slower_dram_lowers_memory_app_ipc(self):
+        trace = get_trace("art", 6000)
+        slow = HierarchyConfig(dram=DRAMConfig(latency=400, gap=6))
+        config = dataclasses.replace(MachineConfig.baseline(), hierarchy=slow)
+        slow_ipc = simulate(trace, "sie", config=config).ipc
+        base_ipc = simulate(trace, "sie").ipc
+        assert slow_ipc < base_ipc
+
+    def test_describe_reflects_hierarchy(self):
+        hierarchy = HierarchyConfig(
+            l2=CacheConfig(name="L2", size_bytes=256 * 1024, line_bytes=128, ways=8, hit_latency=10)
+        )
+        config = dataclasses.replace(MachineConfig.baseline(), hierarchy=hierarchy)
+        assert "L2: 256KB" in config.describe()
+
+
+class TestStatsConsistency:
+    def test_fu_busy_never_exceeds_capacity(self, gzip_sie):
+        stats = gzip_sie.stats
+        config = gzip_sie.pipeline.config
+        for fu, count in config.fu_counts.items():
+            busy = stats.fu_busy_cycles.get(fu, 0)
+            assert busy <= stats.cycles * max(count, 1)
+
+    def test_issued_matches_dispatched_for_sie(self, gzip_sie):
+        # In SIE every dispatched instruction issues exactly once.
+        assert gzip_sie.stats.issued == gzip_sie.stats.dispatched
+
+    def test_fetch_count_equals_trace(self, gzip_sie, gzip_trace):
+        assert gzip_sie.stats.fetched == len(gzip_trace)
+
+    def test_die_issue_at_most_double(self, gzip_die, gzip_trace):
+        assert gzip_die.stats.issued <= 2 * len(gzip_trace)
+
+    def test_predictor_lookups_match_cond_branches(self, gzip_sie, gzip_trace):
+        from repro.isa import is_cond_branch
+
+        cond = sum(1 for i in gzip_trace if is_cond_branch(i.opcode))
+        assert gzip_sie.pipeline.predictor.stats.lookups == cond

@@ -1,0 +1,178 @@
+"""Unit tests for FU pool, machine config, stats and DynInst."""
+
+import pytest
+
+from repro.core import DUPLICATE, DynInst, FUPool, MachineConfig, PRIMARY, SimStats
+from repro.isa import FUClass, Opcode, OpTiming, op_latency, op_timing
+from repro.isa.instruction import TraceInst
+
+
+def make_trace_inst(opcode=Opcode.ADD, seq=0, dst=1, src1=2, src2=3):
+    from repro.isa import fu_class
+
+    return TraceInst(
+        seq=seq,
+        pc=seq * 4,
+        opcode=opcode,
+        fu=fu_class(opcode),
+        dst=dst,
+        src1=src1,
+        src2=src2,
+        src1_val=1,
+        src2_val=2,
+        result=3,
+        mem_addr=None,
+        taken=False,
+        next_pc=seq * 4 + 4,
+    )
+
+
+class TestOpTiming:
+    def test_defaults_single_cycle(self):
+        assert op_latency(Opcode.ADD) == 1
+        assert op_timing(Opcode.ADD).init_interval == 1
+
+    def test_unpipelined_ops(self):
+        div = op_timing(Opcode.DIV)
+        assert div.latency == 20 and div.init_interval == 19
+        fsqrt = op_timing(Opcode.FSQRT)
+        assert fsqrt.init_interval == fsqrt.latency
+
+    def test_pipelined_long_ops(self):
+        assert op_timing(Opcode.FMUL).latency == 4
+        assert op_timing(Opcode.FMUL).init_interval == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpTiming(latency=0)
+        with pytest.raises(ValueError):
+            OpTiming(latency=2, init_interval=3)
+
+
+class TestFUPool:
+    def test_pipelined_unit_accepts_every_cycle(self):
+        pool = FUPool({FUClass.INT_ALU: 1})
+        timing = OpTiming(latency=1)
+        assert pool.issue(FUClass.INT_ALU, 0, timing)
+        assert not pool.issue(FUClass.INT_ALU, 0, timing)
+        assert pool.issue(FUClass.INT_ALU, 1, timing)
+
+    def test_n_units_give_n_slots_per_cycle(self):
+        pool = FUPool({FUClass.INT_ALU: 4})
+        timing = OpTiming(latency=1)
+        issued = sum(pool.issue(FUClass.INT_ALU, 0, timing) for _ in range(6))
+        assert issued == 4
+
+    def test_unpipelined_blocks_for_interval(self):
+        pool = FUPool({FUClass.FP_MULDIV: 1})
+        timing = OpTiming(latency=12, init_interval=12)
+        assert pool.issue(FUClass.FP_MULDIV, 0, timing)
+        for cycle in range(1, 12):
+            assert not pool.issue(FUClass.FP_MULDIV, cycle, timing)
+        assert pool.issue(FUClass.FP_MULDIV, 12, timing)
+
+    def test_absent_class_never_issues(self):
+        pool = FUPool({FUClass.INT_ALU: 1})
+        assert not pool.issue(FUClass.FP_ADD, 0, OpTiming(latency=1))
+        assert not pool.can_issue(FUClass.FP_ADD, 0)
+
+    def test_free_units_counting(self):
+        pool = FUPool({FUClass.INT_ALU: 3})
+        pool.issue(FUClass.INT_ALU, 0, OpTiming(latency=1))
+        assert pool.free_units(FUClass.INT_ALU, 0) == 2
+
+
+class TestMachineConfig:
+    def test_baseline_matches_paper(self):
+        config = MachineConfig.baseline()
+        assert config.issue_width == 8
+        assert config.ruu_size == 128 and config.lsq_size == 64
+        assert (config.int_alu, config.int_muldiv, config.fp_add, config.fp_muldiv) == (
+            4, 2, 2, 1,
+        )
+
+    def test_scaled_alu(self):
+        config = MachineConfig.baseline().scaled(alu=2)
+        assert config.int_alu == 8 and config.fp_muldiv == 2
+        assert config.ruu_size == 128  # untouched
+
+    def test_scaled_ruu(self):
+        config = MachineConfig.baseline().scaled(ruu=2)
+        assert config.ruu_size == 256 and config.lsq_size == 128
+
+    def test_scaled_widths(self):
+        config = MachineConfig.baseline().scaled(widths=2)
+        assert config.fetch_width == config.commit_width == 16
+
+    def test_scaled_combination(self):
+        config = MachineConfig.baseline().scaled(alu=2, ruu=2, widths=2)
+        assert (config.int_alu, config.ruu_size, config.issue_width) == (8, 256, 16)
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MachineConfig.baseline().scaled(alu=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(issue_width=0)
+
+    def test_fu_counts_exposed(self):
+        counts = MachineConfig.baseline().fu_counts
+        assert counts[FUClass.INT_ALU] == 4
+
+    def test_describe_mentions_key_resources(self):
+        text = MachineConfig.baseline().describe()
+        assert "128 / 64" in text and "4/2/2/1" in text
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig.baseline().issue_width = 4
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_mispredict_rate(self):
+        stats = SimStats(branches=100, mispredicts=7)
+        assert stats.mispredict_rate == pytest.approx(0.07)
+
+    def test_irb_rates(self):
+        stats = SimStats(irb_lookups=100, irb_pc_hits=80, irb_reuse_hits=30)
+        assert stats.irb_pc_hit_rate == pytest.approx(0.8)
+        assert stats.irb_reuse_rate == pytest.approx(0.3)
+
+    def test_fu_utilization(self):
+        stats = SimStats(cycles=100)
+        stats.count_fu_issue(FUClass.INT_ALU, busy=2)
+        assert stats.fu_utilization(FUClass.INT_ALU, 1) == pytest.approx(0.02)
+        assert stats.fu_utilization(FUClass.FP_ADD, 2) == 0.0
+
+
+class TestDynInst:
+    def test_uid_interleaves_streams(self):
+        primary = DynInst(make_trace_inst(seq=5), PRIMARY)
+        duplicate = DynInst(make_trace_inst(seq=5), DUPLICATE)
+        assert duplicate.uid == primary.uid + 1
+
+    def test_output_for_alu_is_result(self):
+        inst = DynInst(make_trace_inst(), PRIMARY)
+        assert inst.output() == 3
+
+    def test_output_for_mem_is_address(self):
+        trace = make_trace_inst(opcode=Opcode.LOAD)
+        trace.mem_addr = 0x42
+        inst = DynInst(trace, DUPLICATE)
+        inst.mem_addr = 0x42
+        assert inst.output() == 0x42
+
+    def test_fault_changes_output_not_trace(self):
+        trace = make_trace_inst()
+        inst = DynInst(trace, PRIMARY)
+        inst.result = 99
+        assert trace.result == 3
+        assert inst.output() == 99

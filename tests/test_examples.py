@@ -1,0 +1,51 @@
+"""The example scripts must stay runnable (tiny instruction counts)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "gzip", "3000")
+        assert result.returncode == 0, result.stderr
+        assert "SIE" in result.stdout and "IRB" in result.stdout
+
+    def test_quickstart_rejects_unknown_workload(self):
+        result = run_example("quickstart.py", "quake3")
+        assert result.returncode != 0
+
+    def test_resource_study(self):
+        result = run_example("resource_study.py", "gzip,ammp", "3000")
+        assert result.returncode == 0, result.stderr
+        assert "2xALU" in result.stdout
+        assert "recovers it best" in result.stdout
+
+    def test_reliability_study(self):
+        result = run_example("reliability_study.py", "gzip", "1")
+        assert result.returncode == 0, result.stderr
+        assert "coverage" in result.stdout
+        assert "forward_both" in result.stdout
+
+    def test_irb_tuning(self):
+        result = run_example("irb_tuning.py", "gzip", "3000")
+        assert result.returncode == 0, result.stderr
+        assert "entries" in result.stdout and "read ports" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py", "4000")
+        assert result.returncode == 0, result.stderr
+        assert "checksum" in result.stdout and "decoder" in result.stdout

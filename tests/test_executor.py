@@ -1,0 +1,251 @@
+"""Directed semantic tests for the functional executor.
+
+Each test assembles a tiny program and checks architected results, so the
+executor serves as a trustworthy golden model for the timing pipelines.
+"""
+
+import pytest
+
+from repro.isa import Opcode, StaticInst, fp_reg, int_reg
+from repro.workloads import Program
+from repro.workloads.executor import FunctionalExecutor
+from repro.workloads.program import DataArray
+
+from helpers import addi, assemble, straightline
+
+R1, R2, R3, R4 = int_reg(1), int_reg(2), int_reg(3), int_reg(4)
+F1, F2, F3 = fp_reg(1), fp_reg(2), fp_reg(3)
+
+
+class TestIntArithmetic:
+    def test_addi_and_add(self):
+        trace = straightline(
+            [addi(R1, 0, 5), addi(R2, 0, 7), (Opcode.ADD, R3, R1, R2, 0)]
+        )
+        assert trace[2].result == 12
+        assert trace[2].src1_val == 5 and trace[2].src2_val == 7
+
+    def test_sub_and_slt(self):
+        trace = straightline(
+            [
+                addi(R1, 0, 5),
+                addi(R2, 0, 7),
+                (Opcode.SUB, R3, R1, R2, 0),
+                (Opcode.SLT, R4, R1, R2, 0),
+            ]
+        )
+        assert trace[2].result == -2
+        assert trace[3].result == 1
+
+    def test_logical_ops(self):
+        trace = straightline(
+            [
+                addi(R1, 0, 0b1100),
+                addi(R2, 0, 0b1010),
+                (Opcode.AND, R3, R1, R2, 0),
+                (Opcode.OR, R3, R1, R2, 0),
+                (Opcode.XOR, R3, R1, R2, 0),
+            ]
+        )
+        assert trace[2].result == 0b1000
+        assert trace[3].result == 0b1110
+        assert trace[4].result == 0b0110
+
+    def test_shifts_use_imm_when_no_src2(self):
+        trace = straightline(
+            [addi(R1, 0, 3), (Opcode.SHL, R2, R1, None, 4), (Opcode.SHR, R3, R2, None, 2)]
+        )
+        assert trace[1].result == 48
+        assert trace[2].result == 12
+
+    def test_shr_is_logical_on_negative(self):
+        trace = straightline([addi(R1, 0, -1), (Opcode.SHR, R2, R1, None, 60)])
+        assert trace[1].result == 15
+
+    def test_lui(self):
+        trace = straightline([(Opcode.LUI, R1, None, None, 3)])
+        assert trace[0].result == 3 << 16
+
+    def test_mul_div(self):
+        trace = straightline(
+            [
+                addi(R1, 0, -6),
+                addi(R2, 0, 4),
+                (Opcode.MUL, R3, R1, R2, 0),
+                (Opcode.DIV, R4, R1, R2, 0),
+            ]
+        )
+        assert trace[2].result == -24
+        assert trace[3].result == -1
+
+    def test_add_wraps_to_64_bits(self):
+        big = (1 << 62) + 11
+        trace = straightline(
+            [addi(R1, 0, big), (Opcode.ADD, R2, R1, R1, 0), (Opcode.ADD, R3, R2, R2, 0)]
+        )
+        expected = ((big * 4 + (1 << 63)) % (1 << 64)) - (1 << 63)
+        assert trace[2].result == expected
+
+    def test_zero_register_ignores_writes(self):
+        trace = straightline([addi(0, 0, 99), (Opcode.ADD, R1, 0, 0, 0)])
+        assert trace[1].result == 0
+
+
+class TestFloatArithmetic:
+    def test_fp_ops(self):
+        arrays = [DataArray("ftab", base=0x1000, words=8, entropy=2, is_fp=True)]
+        program = assemble(
+            [
+                (Opcode.FLOAD, F1, R1, None, 0x1000),
+                (Opcode.FLOAD, F2, R1, None, 0x1008),
+                (Opcode.FADD, F3, F1, F2, 0),
+                (Opcode.FSUB, F3, F1, F2, 0),
+                (Opcode.FMUL, F3, F1, F2, 0),
+                (Opcode.FDIV, F3, F1, F2, 0),
+                (Opcode.FSQRT, F3, F1, None, 0),
+            ],
+            arrays=arrays,
+        )
+        ex = FunctionalExecutor(program)
+        trace = ex.run(7)
+        a, b = trace[0].result, trace[1].result
+        assert trace[2].result == a + b
+        assert trace[3].result == a - b
+        assert trace[4].result == a * b
+        assert trace[5].result == pytest.approx(a / b)
+        assert trace[6].result == pytest.approx(a ** 0.5)
+
+    def test_fcmp(self):
+        arrays = [DataArray("ftab", base=0x1000, words=8, entropy=8, is_fp=True)]
+        program = assemble(
+            [
+                (Opcode.FLOAD, F1, R1, None, 0x1000),
+                (Opcode.FLOAD, F2, R1, None, 0x1008),
+                (Opcode.FCMP, F3, F1, F2, 0),
+            ],
+            arrays=arrays,
+        )
+        trace = FunctionalExecutor(program).run(3)
+        expected = 1.0 if trace[0].result < trace[1].result else 0.0
+        assert trace[2].result == expected
+
+
+class TestMemory:
+    def test_store_then_load_roundtrip(self):
+        arrays = [DataArray("a", base=0x2000, words=16, entropy=4)]
+        program = assemble(
+            [
+                addi(R1, 0, 0x2000),
+                addi(R2, 0, 1234),
+                (Opcode.STORE, None, R1, R2, 8),
+                (Opcode.LOAD, R3, R1, None, 8),
+            ],
+            arrays=arrays,
+        )
+        trace = FunctionalExecutor(program).run(4)
+        assert trace[2].mem_addr == 0x2008
+        assert trace[2].result == 0x2008  # stores expose their address
+        assert trace[3].result == 1234
+
+    def test_uninitialized_array_reads_from_pool(self):
+        arrays = [DataArray("a", base=0x2000, words=16, entropy=4)]
+        program = assemble(
+            [addi(R1, 0, 0x2000), (Opcode.LOAD, R2, R1, None, 0)], arrays=arrays
+        )
+        trace = FunctionalExecutor(program).run(2)
+        assert isinstance(trace[1].result, int)
+
+    def test_load_outside_any_array_reads_zero(self):
+        trace = straightline([addi(R1, 0, 0x9999000), (Opcode.LOAD, R2, R1, None, 0)])
+        assert trace[1].result == 0
+
+    def test_pool_determinism(self):
+        arrays = [DataArray("a", base=0x2000, words=64, entropy=8)]
+        ops = [addi(R1, 0, 0x2000), (Opcode.LOAD, R2, R1, None, 24)]
+        t1 = FunctionalExecutor(assemble(ops, arrays=list(arrays))).run(2)
+        t2 = FunctionalExecutor(assemble(ops, arrays=list(arrays))).run(2)
+        assert t1[1].result == t2[1].result
+
+    def test_misaligned_access_is_word_masked(self):
+        arrays = [DataArray("a", base=0x2000, words=16, entropy=4)]
+        program = assemble(
+            [
+                addi(R1, 0, 0x2000),
+                addi(R2, 0, 42),
+                (Opcode.STORE, None, R1, R2, 0),
+                (Opcode.LOAD, R3, R1, None, 5),  # inside the same word
+            ],
+            arrays=arrays,
+        )
+        trace = FunctionalExecutor(program).run(4)
+        assert trace[3].result == 42
+
+
+class TestControlFlow:
+    def test_taken_and_not_taken_branch(self):
+        program = assemble(
+            [
+                addi(R1, 0, 1),
+                (Opcode.BEQ, None, R1, 0, 0, 16),  # not taken (1 != 0)
+                (Opcode.BNE, None, R1, 0, 0, 16),  # taken -> pc 16
+                (Opcode.ADDI, R2, 0, None, 7),  # skipped
+                addi(R3, 0, 9),  # target
+            ]
+        )
+        trace = FunctionalExecutor(program).run(4)
+        assert not trace[1].taken and trace[1].next_pc == 8
+        assert trace[2].taken and trace[2].next_pc == 16
+        assert trace[3].pc == 16
+
+    def test_blt_bge(self):
+        program = assemble(
+            [
+                addi(R1, 0, -5),
+                (Opcode.BLT, None, R1, 0, 0, 12),
+                nop := (Opcode.NOP, None, None, None, 0),
+                (Opcode.BGE, None, R1, 0, 0, 24),  # pc 12: -5 >= 0 false
+                nop,
+            ]
+        )
+        trace = FunctionalExecutor(program).run(3)
+        assert trace[1].taken  # -5 < 0
+        assert trace[2].pc == 12
+        assert not trace[2].taken
+
+    def test_call_and_ret(self):
+        program = assemble(
+            [
+                (Opcode.JUMP, None, None, None, 0, 12),  # jump over helper
+                addi(R1, 0, 77),  # helper body, pc 4
+                (Opcode.RET, None, int_reg(31), None, 0),  # pc 8
+                (Opcode.CALL, int_reg(31), None, None, 0, 4),  # pc 12
+                addi(R2, 0, 1),  # pc 16: return lands here
+            ]
+        )
+        trace = FunctionalExecutor(program).run(5)
+        assert trace[0].next_pc == 12
+        assert trace[1].pc == 12  # CALL
+        assert trace[1].result == 16  # link value
+        assert trace[2].pc == 4  # helper body
+        assert trace[3].pc == 8  # RET
+        assert trace[3].next_pc == 16
+        assert trace[4].pc == 16
+
+    def test_branch_result_is_next_pc(self):
+        program = assemble([addi(R1, 0, 1), (Opcode.BNE, None, R1, 0, 0, 16), nop := (Opcode.NOP, None, None, None, 0), nop, nop])
+        trace = FunctionalExecutor(program).run(2)
+        assert trace[1].result == trace[1].next_pc == 16
+
+
+class TestExecutorBookkeeping:
+    def test_seq_numbers_are_dense(self):
+        trace = straightline([addi(R1, 0, 1)] * 5)
+        assert [i.seq for i in trace] == list(range(5))
+
+    def test_program_rejects_bad_pcs(self):
+        with pytest.raises(ValueError):
+            Program(
+                name="bad",
+                insts=[StaticInst(pc=8, opcode=Opcode.NOP)],
+                arrays=[],
+            )

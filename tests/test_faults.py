@@ -1,0 +1,105 @@
+"""Tests for the fault model and Section 3.4's coverage scenarios."""
+
+import pytest
+
+from repro.isa import int_reg
+from repro.redundancy import (
+    DIE_IRB_SPHERE,
+    DIE_SPHERE,
+    EXEC_DUP,
+    EXEC_PRIMARY,
+    FORWARD_BOTH,
+    FORWARD_SINGLE,
+    Fault,
+    FaultInjector,
+    corrupt_value,
+)
+from repro.simulation import simulate
+
+from helpers import addi, straightline
+
+
+def chain_trace(n=24):
+    return straightline([addi(int_reg(1 + (i % 8)), 0, i) for i in range(n)])
+
+
+class TestCorruptValue:
+    def test_int_flip(self):
+        assert corrupt_value(100) != 100
+
+    def test_float_perturbed(self):
+        assert corrupt_value(1.5) != 1.5
+        assert corrupt_value(0.0) != 0.0
+
+    def test_none_becomes_detectable(self):
+        assert corrupt_value(None) is not None
+
+    def test_bool(self):
+        assert corrupt_value(True) is False
+
+    def test_deterministic(self):
+        assert corrupt_value(42) == corrupt_value(42)
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(kind="cosmic")
+
+    def test_known_kinds_accepted(self):
+        for kind in (EXEC_PRIMARY, EXEC_DUP, FORWARD_SINGLE, FORWARD_BOTH):
+            Fault(kind=kind, seq=1)
+
+
+class TestDetectionScenarios:
+    @pytest.mark.parametrize("kind", [EXEC_PRIMARY, EXEC_DUP, FORWARD_SINGLE])
+    def test_single_stream_faults_are_detected(self, kind):
+        injector = FaultInjector([Fault(kind=kind, seq=12)])
+        result = simulate(chain_trace(), "die", fault_injector=injector)
+        assert injector.log.injected == 1
+        assert result.stats.check_mismatches == 1
+        assert result.stats.committed == 24
+
+    def test_forward_both_escapes_the_pair_check(self):
+        """Figure 6(c): the same bad value in both streams is invisible
+        to the checker — the escape the paper concedes."""
+        injector = FaultInjector([Fault(kind=FORWARD_BOTH, seq=12)])
+        result = simulate(chain_trace(), "die", fault_injector=injector)
+        assert injector.log.injected == 1
+        assert result.stats.check_mismatches == 0
+
+    def test_injection_happens_once_despite_rewind(self):
+        injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=12)])
+        result = simulate(chain_trace(), "die", fault_injector=injector)
+        # The rewind re-executes seq 12; a transient must not recur.
+        assert injector.log.injected == 1
+        assert result.stats.recoveries == 1
+
+    def test_multiple_faults_all_handled(self):
+        faults = [Fault(kind=EXEC_PRIMARY, seq=s) for s in (6, 12, 18)]
+        injector = FaultInjector(faults)
+        result = simulate(chain_trace(), "die", fault_injector=injector)
+        assert result.stats.check_mismatches == 3
+        assert result.stats.committed == 24
+
+    def test_sie_has_no_detection(self):
+        injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=12)])
+        result = simulate(chain_trace(), "sie", fault_injector=injector)
+        assert injector.log.injected == 1
+        assert result.stats.check_mismatches == 0  # silent corruption
+
+
+class TestSphere:
+    def test_die_sphere_contents(self):
+        assert DIE_SPHERE.protects("functional_units")
+        assert DIE_SPHERE.protects("rob")
+        assert not DIE_SPHERE.protects("memory")
+        assert not DIE_SPHERE.protects("branch_predictor")
+
+    def test_irb_joins_the_sphere_without_ecc(self):
+        assert "irb" not in DIE_SPHERE.inside
+        assert DIE_IRB_SPHERE.protects("irb")
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            DIE_SPHERE.protects("flux_capacitor")

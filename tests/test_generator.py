@@ -1,0 +1,254 @@
+"""Tests for the synthetic program generator and workload profiles."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Opcode, is_branch, is_cond_branch
+from repro.workloads import (
+    APP_NAMES,
+    SPEC2000_PROFILES,
+    WorkloadProfile,
+    execute_program,
+    generate_program,
+    get_profile,
+    load_workload,
+)
+from repro.workloads.generator import INT_ACCS, R_CHASE, ProgramGenerator
+
+
+class TestProfiles:
+    def test_twelve_applications(self):
+        assert len(SPEC2000_PROFILES) == 12
+        assert len(set(APP_NAMES)) == 12
+
+    def test_lookup_by_name(self):
+        assert get_profile("gzip").name == "gzip"
+
+    def test_lookup_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="gzip"):
+            get_profile("doom")
+
+    def test_mix_normalization(self):
+        mix = get_profile("gzip").normalized_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_validation_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", mix={"bogus": 1.0})
+
+    def test_validation_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", mix={"int_alu": 1.0}, invariant_frac=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="x", mix={"int_alu": 1.0}, invariant_frac=0.8, induction_frac=0.3
+            )
+
+    def test_validation_rejects_non_pow2_window(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", mix={"int_alu": 1.0}, table_window_words=48)
+
+    def test_fp_profiles_marked(self):
+        for name in ("wupwise", "art", "equake", "ammp"):
+            assert get_profile(name).fp_program
+        for name in ("gzip", "gcc", "mcf"):
+            assert not get_profile(name).fp_program
+
+
+class TestGeneratedPrograms:
+    @pytest.fixture(scope="class", params=["gzip", "gcc", "art", "ammp", "mcf"])
+    def program(self, request):
+        return generate_program(get_profile(request.param))
+
+    def test_pcs_are_dense(self, program):
+        for index, inst in enumerate(program.insts):
+            assert inst.pc == index * 4
+
+    def test_branch_targets_inside_image(self, program):
+        limit = len(program.insts) * 4
+        for inst in program.insts:
+            if inst.target is not None:
+                assert 0 <= inst.target < limit
+
+    def test_branch_targets_never_split_emissions(self, program):
+        """A forward skip may not land between an address computation and
+        its load — the bug class where r-values leak across arrays."""
+        # Targets must never point at a LOAD/FLOAD whose address register
+        # was defined by one of the skipped instructions.
+        by_pc = {inst.pc: inst for inst in program.insts}
+        for inst in program.insts:
+            if is_cond_branch(inst.opcode):
+                target = by_pc[inst.target]
+                if target.opcode in (Opcode.LOAD, Opcode.FLOAD):
+                    skipped = [
+                        by_pc[pc] for pc in range(inst.pc + 4, inst.target, 4)
+                    ]
+                    assert all(s.dst != target.src1 for s in skipped)
+
+    def test_arrays_do_not_overlap(self, program):
+        spans = sorted((a.base, a.limit) for a in program.arrays)
+        for (b1, l1), (b2, _) in zip(spans, spans[1:]):
+            assert l1 <= b2
+
+    def test_deterministic_generation(self):
+        p1 = generate_program(get_profile("gzip"), seed=7)
+        p2 = generate_program(get_profile("gzip"), seed=7)
+        assert [str(i) for i in p1.insts] == [str(i) for i in p2.insts]
+
+    def test_different_seeds_differ(self):
+        p1 = generate_program(get_profile("gzip"), seed=1)
+        p2 = generate_program(get_profile("gzip"), seed=2)
+        assert [str(i) for i in p1.insts] != [str(i) for i in p2.insts]
+
+    def test_static_footprint_scales_with_kernels(self):
+        small = generate_program(get_profile("gzip"))
+        large = generate_program(get_profile("gcc"))
+        assert large.static_footprint > small.static_footprint
+
+
+class TestGeneratedTraces:
+    def test_trace_length_exact(self):
+        trace = load_workload("gzip", n_insts=3000)
+        assert len(trace) == 3000
+
+    def test_trace_determinism(self):
+        t1 = load_workload("vpr", n_insts=2000)
+        t2 = load_workload("vpr", n_insts=2000)
+        assert [(i.pc, i.result) for i in t1] == [(i.pc, i.result) for i in t2]
+
+    def test_mix_roughly_matches_profile(self):
+        trace = load_workload("gzip", n_insts=20000)
+        summary = trace.summary()
+        # Loads cost extra address-forming instructions, so realized
+        # fractions sit below nominal mix weights but must be present.
+        assert 0.05 < summary.load_frac < 0.30
+        assert 0.02 < summary.store_frac < 0.20
+        assert 0.04 < summary.branch_frac < 0.25
+
+    def test_fp_program_has_fp_work(self):
+        from repro.isa import FUClass
+
+        summary = load_workload("wupwise", n_insts=15000).summary()
+        assert summary.fu_mix.get(FUClass.FP_ADD, 0) > 0.05
+        assert summary.fu_mix.get(FUClass.FP_MULDIV, 0) > 0.02
+
+    def test_cold_ranges_only_for_far_memory(self):
+        assert load_workload("art", n_insts=2000).cold_ranges
+        assert not load_workload("ammp", n_insts=2000).cold_ranges
+
+    def test_pointer_chase_serializes_through_dedicated_register(self):
+        program = generate_program(get_profile("mcf"))
+        chase_loads = [
+            inst
+            for inst in program.insts
+            if inst.opcode is Opcode.LOAD and inst.dst == R_CHASE
+        ]
+        assert chase_loads, "mcf must contain chase loads"
+        # No other instruction may clobber the chase register.
+        for inst in program.insts:
+            if inst.dst == R_CHASE and inst.opcode is not Opcode.LOAD:
+                assert inst.opcode is Opcode.ADDI  # prologue init only
+
+    def test_accumulators_are_loop_carried(self):
+        program = generate_program(get_profile("gzip"))
+        acc_updates = [
+            inst
+            for inst in program.insts
+            if inst.dst in INT_ACCS and inst.src1 == inst.dst
+        ]
+        assert acc_updates, "accumulator updates must exist"
+
+    def test_value_repetition_present(self):
+        # The IRB's food: traces must show consecutive operand repetition.
+        summary = load_workload("vortex", n_insts=20000).summary()
+        assert summary.value_repetition > 0.15
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    name=st.sampled_from(["gzip", "equake", "mcf"]),
+)
+def test_any_seed_generates_runnable_program(seed, name):
+    """Property: every seed yields a program the executor can run."""
+    program = generate_program(get_profile(name), seed=seed)
+    trace = execute_program(program, 1500)
+    assert len(trace) == 1500
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    inv=st.floats(0.0, 0.6),
+    dep=st.floats(1.5, 12.0),
+    acc=st.floats(0.0, 0.6),
+)
+def test_profile_parameter_space_is_safe(inv, dep, acc):
+    """Property: generator tolerates the whole advertised parameter space."""
+    profile = dataclasses.replace(
+        get_profile("gzip"),
+        invariant_frac=inv,
+        dep_distance=dep,
+        accum_frac=acc,
+        induction_frac=min(0.1, 1.0 - inv),
+    )
+    trace = execute_program(generate_program(profile), 800)
+    assert len(trace) == 800
+
+
+class TestRegisterContracts:
+    """The generator's register-allocation contract: special registers
+    are written only where their role allows, or values silently corrupt
+    (the bug class behind broken chase chains)."""
+
+    @pytest.mark.parametrize("name", ["gzip", "mcf", "ammp", "gcc", "art"])
+    def test_invariant_pool_never_written_after_prologue(self, name):
+        from repro.workloads.generator import INT_POOL, FP_POOL
+        from repro.isa import Opcode
+
+        program = generate_program(get_profile(name))
+        prologue_end = program.loop_entry
+        for inst in program.insts:
+            if inst.pc >= prologue_end and inst.dst is not None:
+                assert inst.dst not in INT_POOL, str(inst)
+                assert inst.dst not in FP_POOL, str(inst)
+
+    @pytest.mark.parametrize("name", ["gzip", "mcf", "ammp"])
+    def test_base_registers_only_written_in_prologue(self, name):
+        from repro.workloads.generator import (
+            R_FPMAIN_BASE,
+            R_FPTABLE_BASE,
+            R_GRAPH_BASE,
+            R_HEAP_BASE,
+            R_MAIN_BASE,
+            R_TABLE_BASE,
+        )
+
+        bases = {
+            R_MAIN_BASE,
+            R_TABLE_BASE,
+            R_FPMAIN_BASE,
+            R_FPTABLE_BASE,
+            R_GRAPH_BASE,
+            R_HEAP_BASE,
+        }
+        program = generate_program(get_profile(name))
+        for inst in program.insts:
+            if inst.pc >= program.loop_entry and inst.dst is not None:
+                assert inst.dst not in bases, str(inst)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_helpers_never_call(self, name):
+        # Helper bodies must be leaf functions: a nested CALL would
+        # clobber the single link register.
+        program = generate_program(get_profile(name))
+        by_pc = {i.pc: i for i in program.insts}
+        # find helper regions: between a JUMP-over and main loop entry
+        for inst in program.insts:
+            if inst.opcode is Opcode.RET:
+                # scan back to region start (previous RET or prologue end)
+                pc = inst.pc - 4
+                while pc >= 0 and by_pc[pc].opcode not in (Opcode.RET, Opcode.JUMP):
+                    assert by_pc[pc].opcode is not Opcode.CALL
+                    pc -= 4

@@ -1,0 +1,104 @@
+"""Cross-model integration invariants on real synthetic workloads.
+
+These encode the paper's qualitative structure: the orderings that must
+hold for the reproduction to be meaningful at all.
+"""
+
+import pytest
+
+from repro.core import MachineConfig
+from repro.simulation import get_trace, simulate
+
+N = 8_000
+APPS = ("gzip", "art", "ammp")
+
+
+@pytest.fixture(scope="module", params=APPS)
+def app_results(request):
+    trace = get_trace(request.param, N)
+    return request.param, {
+        "sie": simulate(trace, "sie"),
+        "die": simulate(trace, "die"),
+        "die-irb": simulate(trace, "die-irb"),
+        "die-2xalu": simulate(
+            trace, "die", config=MachineConfig.baseline().scaled(alu=2)
+        ),
+        "die-all2x": simulate(
+            trace, "die", config=MachineConfig.baseline().scaled(alu=2, ruu=2, widths=2)
+        ),
+    }
+
+
+class TestOrderings:
+    def test_die_loses_to_sie(self, app_results):
+        app, r = app_results
+        assert r["die"].ipc <= r["sie"].ipc * 1.001
+
+    def test_irb_recovers_part_of_the_loss(self, app_results):
+        app, r = app_results
+        assert r["die-irb"].ipc >= r["die"].ipc * 0.995
+
+    def test_more_alus_never_hurt(self, app_results):
+        app, r = app_results
+        assert r["die-2xalu"].ipc >= r["die"].ipc * 0.995
+
+    def test_full_doubling_approaches_sie(self, app_results):
+        app, r = app_results
+        assert r["die-all2x"].ipc >= r["die"].ipc
+        assert r["die-all2x"].ipc >= 0.85 * r["sie"].ipc
+
+    def test_die_irb_bounded_by_sie(self, app_results):
+        app, r = app_results
+        assert r["die-irb"].ipc <= r["sie"].ipc * 1.001
+
+
+class TestCommitCorrectness:
+    def test_all_models_commit_the_whole_trace(self, app_results):
+        app, r = app_results
+        for result in r.values():
+            assert result.stats.committed == N
+
+    def test_die_checks_every_pair(self, app_results):
+        app, r = app_results
+        assert r["die"].stats.pairs_checked == N
+        assert r["die"].stats.check_mismatches == 0
+
+    def test_memory_traffic_identical_across_sie_and_die(self, app_results):
+        app, r = app_results
+        assert (
+            r["die"].pipeline.hier.l1d.stats.accesses
+            == r["sie"].pipeline.hier.l1d.stats.accesses
+        )
+
+
+class TestPaperShape:
+    """The coarse shape anchors from the paper's text."""
+
+    def test_art_is_window_bound(self):
+        trace = get_trace("art", N)
+        sie = simulate(trace, "sie").ipc
+        die = simulate(trace, "die").ipc
+        die_2xruu = simulate(
+            trace, "die", config=MachineConfig.baseline().scaled(ruu=2)
+        ).ipc
+        loss = 100 * (sie - die) / sie
+        loss_2xruu = 100 * (sie - die_2xruu) / sie
+        assert loss > 30  # the paper's worst case (~43%)
+        assert loss_2xruu < loss / 2  # 2xRUU recovers art best
+
+    def test_ammp_is_nearly_free(self):
+        trace = get_trace("ammp", N)
+        sie = simulate(trace, "sie").ipc
+        die = simulate(trace, "die").ipc
+        assert 100 * (sie - die) / sie < 8  # the paper's ~1% outlier
+
+    def test_gzip_is_alu_bound(self):
+        trace = get_trace("gzip", N)
+        sie = simulate(trace, "sie").ipc
+        die = simulate(trace, "die").ipc
+        die_2xalu = simulate(
+            trace, "die", config=MachineConfig.baseline().scaled(alu=2)
+        ).ipc
+        assert die_2xalu > die  # ALUs are a real constraint
+        gap_recovered = (die_2xalu - die) / (sie - die)
+        assert gap_recovered > 0.3

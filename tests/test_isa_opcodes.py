@@ -1,0 +1,94 @@
+"""Unit tests for opcode classification."""
+
+import pytest
+
+from repro.isa import (
+    FUClass,
+    Opcode,
+    fu_class,
+    is_branch,
+    is_cond_branch,
+    is_fp,
+    is_load,
+    is_mem,
+    is_reusable,
+    is_store,
+    is_uncond_branch,
+)
+
+
+class TestFUClassification:
+    def test_int_alu_ops_map_to_int_alu(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.SLT, Opcode.LUI):
+            assert fu_class(op) is FUClass.INT_ALU
+
+    def test_muldiv_ops(self):
+        assert fu_class(Opcode.MUL) is FUClass.INT_MULDIV
+        assert fu_class(Opcode.DIV) is FUClass.INT_MULDIV
+
+    def test_fp_add_class(self):
+        for op in (Opcode.FADD, Opcode.FSUB, Opcode.FCMP):
+            assert fu_class(op) is FUClass.FP_ADD
+
+    def test_fp_muldiv_class(self):
+        for op in (Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT):
+            assert fu_class(op) is FUClass.FP_MULDIV
+
+    def test_memory_address_calc_uses_int_alu(self):
+        # The paper treats ALU and functional unit synonymously because
+        # address and target calculations run on the integer ALUs.
+        for op in (Opcode.LOAD, Opcode.STORE, Opcode.FLOAD, Opcode.FSTORE):
+            assert fu_class(op) is FUClass.INT_ALU
+
+    def test_branches_use_int_alu(self):
+        for op in (Opcode.BEQ, Opcode.JUMP, Opcode.RET):
+            assert fu_class(op) is FUClass.INT_ALU
+
+    def test_nop_needs_no_unit(self):
+        assert fu_class(Opcode.NOP) is FUClass.NONE
+
+    def test_every_opcode_classifies(self):
+        for op in Opcode:
+            assert isinstance(fu_class(op), FUClass)
+
+
+class TestPredicates:
+    def test_mem_predicates(self):
+        assert is_mem(Opcode.LOAD) and is_mem(Opcode.FSTORE)
+        assert is_load(Opcode.FLOAD) and not is_load(Opcode.STORE)
+        assert is_store(Opcode.STORE) and not is_store(Opcode.LOAD)
+        assert not is_mem(Opcode.ADD)
+
+    def test_branch_predicates(self):
+        assert is_branch(Opcode.BEQ) and is_branch(Opcode.RET)
+        assert is_cond_branch(Opcode.BLT) and not is_cond_branch(Opcode.JUMP)
+        assert is_uncond_branch(Opcode.CALL) and not is_uncond_branch(Opcode.BNE)
+
+    def test_cond_and_uncond_partition_branches(self):
+        for op in Opcode:
+            if is_branch(op):
+                assert is_cond_branch(op) != is_uncond_branch(op)
+
+    def test_fp_predicate(self):
+        assert is_fp(Opcode.FADD) and is_fp(Opcode.FLOAD)
+        assert not is_fp(Opcode.ADD) and not is_fp(Opcode.LOAD)
+
+    def test_reusable_covers_everything_but_nop(self):
+        # Section 3.2: IRB serves ALU ops, branch targets and mem address
+        # calculation — every opcode except NOP carries reusable work.
+        for op in Opcode:
+            assert is_reusable(op) == (op is not Opcode.NOP)
+
+
+class TestEnumStability:
+    def test_opcode_values_are_unique(self):
+        values = [op.value for op in Opcode]
+        assert len(values) == len(set(values))
+
+    def test_fu_class_values_are_unique(self):
+        values = [fu.value for fu in FUClass]
+        assert len(values) == len(set(values))
+
+    @pytest.mark.parametrize("op", list(Opcode))
+    def test_opcode_roundtrip(self, op):
+        assert Opcode(op.value) is op

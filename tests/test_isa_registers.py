@@ -1,0 +1,60 @@
+"""Unit tests for the register namespace."""
+
+import pytest
+
+from repro.isa import (
+    FP_BASE,
+    LINK_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+
+class TestRegisterIds:
+    def test_counts(self):
+        assert NUM_REGS == NUM_INT_REGS + NUM_FP_REGS == 64
+
+    def test_int_reg_identity(self):
+        assert int_reg(0) == ZERO_REG == 0
+        assert int_reg(31) == LINK_REG == 31
+
+    def test_fp_reg_offsets(self):
+        assert fp_reg(0) == FP_BASE
+        assert fp_reg(31) == NUM_REGS - 1
+
+    def test_int_reg_range_check(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_range_check(self):
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+    def test_is_fp_reg_partition(self):
+        for reg in range(NUM_REGS):
+            assert is_fp_reg(reg) == (reg >= FP_BASE)
+
+
+class TestRegNames:
+    def test_int_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+
+    def test_fp_names(self):
+        assert reg_name(FP_BASE) == "f0"
+        assert reg_name(FP_BASE + 5) == "f5"
+
+    def test_none_renders_dash(self):
+        assert reg_name(None) == "-"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            reg_name(64)

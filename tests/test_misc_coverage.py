@@ -1,0 +1,141 @@
+"""Edge cases and small-surface coverage across modules."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DUPLICATE, DynInst, MachineConfig, PRIMARY
+from repro.isa import Opcode, int_reg
+from repro.redundancy import DIEPipeline
+from repro.simulation import simulate
+from repro.workloads import generate_program, get_profile
+
+from helpers import addi, assemble, straightline
+
+R1, R2 = int_reg(1), int_reg(2)
+
+
+class TestDIEWidthGuard:
+    def test_die_rejects_single_wide_commit(self, gzip_trace):
+        config = dataclasses.replace(MachineConfig.baseline(), commit_width=1)
+        with pytest.raises(ValueError, match="pairs"):
+            DIEPipeline(gzip_trace, config)
+
+    def test_die_rejects_single_wide_decode(self, gzip_trace):
+        config = dataclasses.replace(MachineConfig.baseline(), decode_width=1)
+        with pytest.raises(ValueError, match="pairs"):
+            DIEPipeline(gzip_trace, config)
+
+    def test_die_accepts_width_two(self):
+        trace = straightline([addi(R1, 0, 1), addi(R2, 0, 2)])
+        config = dataclasses.replace(
+            MachineConfig.baseline(),
+            fetch_width=2,
+            decode_width=2,
+            issue_width=2,
+            commit_width=2,
+        )
+        result = simulate(trace, "die", config=config)
+        assert result.stats.committed == 2
+
+
+class TestProgramIntrospection:
+    def test_listing_renders_disassembly(self):
+        program = generate_program(get_profile("gzip"))
+        text = program.listing(0, 5)
+        assert "ADDI" in text
+        assert text.count("\n") == 4
+
+    def test_array_for(self):
+        program = generate_program(get_profile("gzip"))
+        table = next(a for a in program.arrays if a.name == "table")
+        assert program.array_for(table.base) is table
+        assert program.array_for(0) is None
+
+    def test_static_inst_str_shows_target(self):
+        program = assemble([(Opcode.JUMP, None, None, None, 0, 0)])
+        assert "->" in str(program.insts[0])
+
+    def test_trace_inst_str(self):
+        trace = straightline([addi(R1, 0, 1)])
+        assert "ADDI" in str(trace[0])
+
+
+class TestDynInstRepr:
+    def test_repr_shows_state(self):
+        trace = straightline([addi(R1, 0, 1)])
+        inst = DynInst(trace[0], PRIMARY)
+        assert "wait" in repr(inst)
+        inst.issued = True
+        assert "issued" in repr(inst)
+        inst.complete = True
+        assert "done" in repr(inst)
+
+    def test_repr_tags_streams(self):
+        trace = straightline([addi(R1, 0, 1)])
+        assert "<DynInst P0" in repr(DynInst(trace[0], PRIMARY))
+        assert "<DynInst D0" in repr(DynInst(trace[0], DUPLICATE))
+
+
+class TestConfigScaling:
+    def test_scaling_is_multiplicative(self):
+        config = MachineConfig.baseline().scaled(alu=3)
+        assert config.int_alu == 12
+
+    def test_scaling_preserves_hierarchy(self):
+        base = MachineConfig.baseline()
+        scaled = base.scaled(ruu=2)
+        assert scaled.hierarchy is base.hierarchy
+
+
+class TestPredictorBounds:
+    def test_always_taken_and_not_taken(self):
+        from repro.branch import make_predictor
+
+        taken = make_predictor("taken")
+        nottaken = make_predictor("nottaken")
+        assert taken.predict(0x100) is True
+        assert nottaken.predict(0x100) is False
+        taken.update(0x100, True, True)
+        nottaken.update(0x100, True, False)
+        assert taken.stats.accuracy == 1.0
+        assert nottaken.stats.accuracy == 0.0
+
+    def test_static_predictors_run_a_pipeline(self, gzip_trace):
+        for kind in ("taken", "nottaken", "bimodal", "gshare", "perfect"):
+            config = dataclasses.replace(MachineConfig.baseline(), predictor=kind)
+            result = simulate(gzip_trace, "sie", config=config)
+            assert result.stats.committed == len(gzip_trace)
+
+    def test_perfect_predictor_never_mispredicts(self, gzip_trace):
+        config = dataclasses.replace(MachineConfig.baseline(), predictor="perfect")
+        result = simulate(gzip_trace, "sie", config=config)
+        assert result.stats.mispredicts == 0
+
+
+class TestCallReturnPipeline:
+    def test_call_ret_flow_through_all_models(self):
+        ops = [
+            (Opcode.JUMP, None, None, None, 0, 12),
+            addi(R1, 0, 7),  # helper body, pc 4
+            (Opcode.RET, None, int_reg(31), None, 0),  # pc 8
+            (Opcode.CALL, int_reg(31), None, None, 0, 4),  # pc 12
+            addi(R2, 0, 9),  # pc 16
+        ]
+        trace = straightline(ops, count=5)
+        for model in ("sie", "die", "die-irb"):
+            result = simulate(trace, model)
+            assert result.stats.committed == 5, model
+
+    def test_ras_predicts_returns_after_warmup(self):
+        ops = [
+            (Opcode.JUMP, None, None, None, 0, 12),
+            addi(R1, 0, 7),
+            (Opcode.RET, None, int_reg(31), None, 0),
+            (Opcode.CALL, int_reg(31), None, None, 0, 4),
+            addi(R2, 0, 9),
+        ]
+        trace = straightline(ops, count=5 * 8 + 6)  # several loops
+        result = simulate(trace, "sie")
+        # Steady state: CALL/RET/JUMP all predicted.
+        assert result.stats.mispredict_rate < 0.25

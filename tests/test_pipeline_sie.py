@@ -1,0 +1,191 @@
+"""Directed timing tests for the SIE out-of-order pipeline.
+
+These pin the model's fundamental contracts: dataflow order, functional
+unit structural hazards, stage widths, RUU/LSQ capacity, memory latency
+and branch handling — using hand-assembled micro-programs so every
+expectation is analyzable.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DeadlockError, MachineConfig, OOOPipeline
+from repro.isa import Opcode, int_reg
+from repro.simulation import simulate
+
+from helpers import addi, assemble, straightline
+
+R1, R2, R3, R4, R5 = (int_reg(i) for i in range(1, 6))
+
+
+def run_sie(ops, config=None, count=None, warmup=True):
+    # Warmup trains the I-cache/D-cache/predictor so micro-timings are not
+    # swamped by cold-start DRAM fills.
+    trace = straightline(ops, count=count)
+    return simulate(trace, "sie", config=config, warmup=warmup)
+
+
+def cycles(ops, config=None):
+    return run_sie(ops, config=config).stats.cycles
+
+
+class TestBasicTiming:
+    def test_single_instruction_latency(self):
+        config = MachineConfig.baseline()
+        base = cycles([addi(R1, 0, 1)])
+        # dispatch at frontend_latency, ready+issue next cycle, complete
+        # the cycle after, commit in that same cycle's stage pass, plus
+        # the final cycle increment.
+        assert base == config.frontend_latency + 3
+
+    def test_independent_ops_are_free(self):
+        one = cycles([addi(R1, 0, 1)])
+        four = cycles([addi(R1, 0, 1), addi(R2, 0, 2), addi(R3, 0, 3), addi(R4, 0, 4)])
+        assert four == one
+
+    def test_dependent_chain_costs_one_cycle_each(self):
+        one = cycles([addi(R1, 0, 1)])
+        chain = [addi(R1, 0, 1)] + [addi(R1, R1, 1) for _ in range(5)]
+        assert cycles(chain) == one + 5
+
+    def test_mul_latency_on_chain(self):
+        base = cycles([addi(R1, 0, 3), (Opcode.ADD, R2, R1, R1, 0)])
+        mul = cycles([addi(R1, 0, 3), (Opcode.MUL, R2, R1, R1, 0)])
+        assert mul == base + 2  # MUL latency 3 vs ADD latency 1
+
+    def test_nop_flows_through(self):
+        result = run_sie([(Opcode.NOP, None, None, None, 0)])
+        assert result.stats.committed == 1
+
+
+class TestStructuralHazards:
+    def test_alu_bandwidth_limits_issue(self):
+        # 8 independent ADDIs vs 4 ALUs: one extra cycle.
+        four = cycles([addi(int_reg(1 + i), 0, i) for i in range(4)])
+        eight = cycles([addi(int_reg(1 + i), 0, i) for i in range(8)])
+        assert eight == four + 1
+
+    def test_issue_width_limits(self):
+        narrow = dataclasses.replace(MachineConfig.baseline(), issue_width=1)
+        ops = [addi(int_reg(1 + i), 0, i) for i in range(4)]
+        assert cycles(ops, config=narrow) == cycles(ops) + 3
+
+    def test_unpipelined_divider_serializes(self):
+        one_div_ops = [addi(R1, 0, 9), addi(R2, 0, 3), (Opcode.DIV, R3, R1, R2, 0)]
+        three_div_ops = one_div_ops + [
+            (Opcode.DIV, R4, R1, R2, 0),
+            (Opcode.DIV, R5, R1, R2, 0),
+        ]
+        # Baseline has 2 int mul/div units; the third DIV waits for a
+        # unit to free (init interval 19).
+        delta = cycles(three_div_ops) - cycles(one_div_ops)
+        assert delta >= 18
+
+    def test_commit_width_bounds_retirement(self):
+        narrow = dataclasses.replace(MachineConfig.baseline(), commit_width=1)
+        ops = [addi(int_reg(1 + i), 0, i) for i in range(4)]
+        assert cycles(ops, config=narrow) == cycles(ops) + 3
+
+
+class TestCapacityLimits:
+    def test_tiny_ruu_slows_independent_work(self):
+        tiny = dataclasses.replace(MachineConfig.baseline(), ruu_size=4, lsq_size=2)
+        ops = [addi(int_reg(1 + (i % 8)), 0, i) for i in range(32)]
+        assert cycles(ops, config=tiny) > cycles(ops)
+
+    def test_lsq_capacity_gates_memory_dispatch(self):
+        tiny = dataclasses.replace(MachineConfig.baseline(), lsq_size=1)
+        ops = [addi(R1, 0, 0x2000)] + [
+            (Opcode.LOAD, int_reg(2 + (i % 8)), R1, None, 8 * i) for i in range(8)
+        ]
+        slow = run_sie(ops, config=tiny)
+        fast = run_sie(ops)
+        assert slow.stats.cycles > fast.stats.cycles
+        assert slow.stats.dispatch_stall_lsq > 0
+
+
+class TestMemoryTiming:
+    def test_load_use_latency(self):
+        config = MachineConfig.baseline()
+        # Dependent chain through a load vs through an ADD: the address
+        # calculation overlaps the ADD's slot, so the chain grows by the
+        # L1D hit latency (access starts the cycle the address is done).
+        alu_chain = cycles([addi(R1, 0, 0x2000), (Opcode.ADD, R2, R1, R1, 0), (Opcode.ADD, R3, R2, R2, 0)])
+        load_chain = cycles(
+            [addi(R1, 0, 0x2000), (Opcode.LOAD, R2, R1, None, 0), (Opcode.ADD, R3, R2, R2, 0)]
+        )
+        assert load_chain == alu_chain + config.hierarchy.l1d.hit_latency
+
+    def test_cache_ports_limit_concurrent_loads(self):
+        one_port = dataclasses.replace(MachineConfig.baseline(), cache_ports=1)
+        ops = [addi(R1, 0, 0x2000)] + [
+            (Opcode.LOAD, int_reg(2 + i), R1, None, 8 * i) for i in range(6)
+        ]
+        assert cycles(ops, config=one_port) > cycles(ops)
+
+    def test_store_completes_without_blocking(self):
+        ops = [
+            addi(R1, 0, 0x2000),
+            addi(R2, 0, 42),
+            (Opcode.STORE, None, R1, R2, 0),
+            addi(R3, 0, 1),
+        ]
+        result = run_sie(ops)
+        assert result.stats.committed == 4
+
+
+class TestBranchHandling:
+    def test_well_predicted_loop_is_cheap(self):
+        # A counted loop: after warmup the back edge is predicted.
+        ops = [
+            addi(R1, 0, 40),
+            addi(R1, R1, -1),
+            (Opcode.BNE, None, R1, 0, 0, 4),
+        ]
+        trace_len = 1 + 40 * 2
+        result = run_sie(ops, count=trace_len, warmup=True)
+        assert result.stats.mispredict_rate < 0.1
+
+    def test_unpredictable_branch_costs(self):
+        # Direction flips with the low bit of a counter every iteration —
+        # gshare learns this; a data-random pattern cannot be built
+        # deterministically here, so instead check the penalty plumbing:
+        # a cold BTB jump pays a redirect.
+        ops = [addi(R1, 0, 1), (Opcode.JUMP, None, None, None, 0, 16), addi(R2, 0, 2), addi(R3, 0, 3), addi(R4, 0, 4)]
+        cold = run_sie(ops, warmup=False)
+        assert cold.stats.mispredicts >= 1
+
+    def test_mispredict_stalls_fetch(self):
+        taken_then_not = [
+            addi(R1, 0, 1),
+            (Opcode.BNE, None, R1, 0, 0, 16),  # always taken, cold BTB
+            addi(R2, 0, 9),
+            addi(R3, 0, 9),
+            addi(R4, 0, 4),
+        ]
+        result = run_sie(taken_then_not, warmup=False)
+        assert result.stats.fetch_stall_mispredict > 0
+
+
+class TestRobustness:
+    def test_deadlock_guard_raises(self):
+        trace = straightline([addi(R1, 0, 1)])
+        pipeline = OOOPipeline(trace)
+        with pytest.raises(DeadlockError):
+            pipeline.run(max_cycles=1)
+
+    def test_empty_trace_rejected(self):
+        from repro.workloads import Trace
+
+        with pytest.raises(ValueError):
+            OOOPipeline(Trace(name="empty", insts=[]))
+
+    def test_all_instructions_commit_exactly_once(self):
+        ops = [addi(int_reg(1 + (i % 8)), 0, i) for i in range(20)]
+        result = run_sie(ops)
+        assert result.stats.committed == 20
+        assert result.stats.dispatched == 20
+
+    def test_stats_cycles_positive(self):
+        assert cycles([addi(R1, 0, 1)]) > 0

@@ -1,0 +1,116 @@
+"""Property-based cross-model pipeline tests.
+
+Random micro-programs are pushed through all four timing models; whatever
+the program, the structural invariants must hold: everything commits
+exactly once, no deadlock, redundancy never beats the redundancy-free
+machine, and fault-free DIE runs never flag mismatches.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import MachineConfig
+from repro.isa import Opcode, int_reg
+from repro.simulation import simulate
+
+from helpers import assemble
+from repro.workloads.executor import FunctionalExecutor
+
+_REGS = [int_reg(i) for i in range(1, 12)]
+
+_alu_op = st.tuples(
+    st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR, Opcode.SLT]),
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+).map(lambda t: (t[0], t[1], t[2], t[3], 0))
+
+_imm_op = st.tuples(
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+    st.integers(-1000, 1000),
+).map(lambda t: (Opcode.ADDI, t[0], t[1], None, t[2]))
+
+_longlat_op = st.tuples(
+    st.sampled_from([Opcode.MUL, Opcode.DIV]),
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+).map(lambda t: (t[0], t[1], t[2], t[3], 0))
+
+_load_op = st.tuples(
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+    st.integers(0, 30),
+).map(lambda t: (Opcode.LOAD, t[0], t[1], None, t[2] * 8))
+
+_store_op = st.tuples(
+    st.sampled_from(_REGS),
+    st.sampled_from(_REGS),
+    st.integers(0, 30),
+).map(lambda t: (Opcode.STORE, None, t[0], t[1], t[2] * 8))
+
+_any_op = st.one_of(_imm_op, _alu_op, _longlat_op, _load_op, _store_op)
+
+programs = st.lists(_any_op, min_size=1, max_size=30)
+loops = st.integers(1, 3)
+
+
+def _trace_for(ops, loops):
+    program = assemble(ops)
+    count = (len(ops) + 1) * loops
+    return FunctionalExecutor(program).run(count)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=programs, loops=loops)
+def test_all_models_commit_everything(ops, loops):
+    trace = _trace_for(ops, loops)
+    for model in ("sie", "die", "die-irb", "sie-irb"):
+        result = simulate(trace, model)
+        assert result.stats.committed == len(trace), model
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=programs, loops=loops)
+def test_redundancy_never_wins(ops, loops):
+    trace = _trace_for(ops, loops)
+    sie = simulate(trace, "sie").stats.cycles
+    die = simulate(trace, "die").stats.cycles
+    die_irb = simulate(trace, "die-irb").stats.cycles
+    assert die >= sie
+    assert die_irb >= sie
+    assert die_irb <= die  # the IRB may only help
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=programs, loops=loops)
+def test_fault_free_redundancy_is_clean(ops, loops):
+    trace = _trace_for(ops, loops)
+    for model in ("die", "die-irb"):
+        result = simulate(trace, model)
+        assert result.stats.check_mismatches == 0, model
+        assert result.stats.pairs_checked == len(trace), model
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=programs,
+    ruu=st.sampled_from([8, 32, 128]),
+    width=st.sampled_from([2, 8]),
+)
+def test_tiny_machines_never_deadlock(ops, ruu, width):
+    trace = _trace_for(ops, 2)
+    config = dataclasses.replace(
+        MachineConfig.baseline(),
+        ruu_size=ruu,
+        lsq_size=max(2, ruu // 2),
+        fetch_width=width,
+        decode_width=width,
+        issue_width=width,
+        commit_width=width,
+    )
+    for model in ("sie", "die", "die-irb"):
+        result = simulate(trace, model, config=config)
+        assert result.stats.committed == len(trace)

@@ -1,0 +1,102 @@
+"""Tests for trace containers, summaries, cold ranges and warmup."""
+
+import pytest
+
+from repro.core import OOOPipeline
+from repro.isa import Opcode, int_reg
+from repro.simulation import get_trace, simulate
+from repro.workloads import Trace
+from repro.workloads.program import DataArray
+
+from helpers import addi, straightline
+
+R1, R2 = int_reg(1), int_reg(2)
+
+
+class TestDataArray:
+    def test_geometry(self):
+        arr = DataArray("a", base=0x1000, words=16, entropy=4)
+        assert arr.size_bytes == 128
+        assert arr.limit == 0x1080
+        assert arr.contains(0x1000) and arr.contains(0x107F)
+        assert not arr.contains(0x1080)
+
+
+class TestTraceContainer:
+    def test_sequence_protocol(self):
+        trace = straightline([addi(R1, 0, 1), addi(R2, 0, 2)])
+        assert len(trace) == 2
+        assert trace[0].opcode is Opcode.ADDI
+        assert [i.seq for i in trace] == [0, 1]
+
+    def test_summary_counts(self):
+        trace = straightline(
+            [
+                addi(R1, 0, 0x2000),
+                (Opcode.LOAD, R2, R1, None, 0),
+                (Opcode.STORE, None, R1, R1, 8),
+                (Opcode.BEQ, None, R1, R1, 0, 16),
+            ],
+            count=4,
+        )
+        summary = trace.summary()
+        assert summary.length == 4
+        assert summary.load_frac == 0.25
+        assert summary.store_frac == 0.25
+        assert summary.branch_frac == 0.25
+        assert summary.taken_frac == 1.0  # r1 == r1
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Trace(name="x", insts=[]).summary()
+
+    def test_value_repetition_detects_repeats(self):
+        # One ADDI + the closing JUMP, looped 4 times: the first pass of
+        # each PC is novel, every later pass repeats -> 6/8.
+        trace = straightline([addi(R1, 0, 5)], count=8)
+        assert trace.summary().value_repetition == pytest.approx(0.75)
+
+    def test_cold_range_membership(self):
+        trace = Trace(name="x", insts=[], cold_ranges=((0x1000, 0x2000),))
+        assert trace.is_cold(0x1000)
+        assert trace.is_cold(0x1FFF)
+        assert not trace.is_cold(0x2000)
+        assert not trace.is_cold(0x0)
+
+
+class TestWarmup:
+    def test_warmup_trains_caches(self):
+        ops = [addi(R1, 0, 0x2000)] + [
+            (Opcode.LOAD, int_reg(2 + i), R1, None, 8 * i) for i in range(4)
+        ]
+        trace = straightline(ops)
+        pipeline = OOOPipeline(trace)
+        pipeline.warm_up()
+        assert pipeline.hier.l1d.contains(0x2000)
+        assert pipeline.hier.l1d.stats.accesses == 0  # stats were reset
+
+    def test_warmup_skips_cold_ranges(self):
+        ops = [addi(R1, 0, 0x2000), (Opcode.LOAD, R2, R1, None, 0)]
+        trace = straightline(ops)
+        trace.cold_ranges = ((0x2000, 0x3000),)
+        pipeline = OOOPipeline(trace)
+        pipeline.warm_up()
+        assert not pipeline.hier.l1d.contains(0x2000)
+
+    def test_warmup_improves_ipc(self):
+        trace = get_trace("gzip", 5000)
+        cold = simulate(trace, "sie", warmup=False).ipc
+        warm = simulate(trace, "sie", warmup=True).ipc
+        assert warm > cold
+
+    def test_warmup_trains_predictor(self):
+        trace = get_trace("gzip", 5000)
+        warm = simulate(trace, "sie", warmup=True)
+        cold = simulate(trace, "sie", warmup=False)
+        assert warm.stats.mispredict_rate <= cold.stats.mispredict_rate
+
+    def test_cold_art_heap_stays_cold(self):
+        trace = get_trace("art", 5000)
+        result = simulate(trace, "sie", warmup=True)
+        # The streaming heap must still generate DRAM traffic post-warmup.
+        assert result.pipeline.hier.dram.requests > 0

@@ -1,0 +1,88 @@
+"""Unit and property tests for 64-bit value arithmetic."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.workloads import int_div, to_unsigned64, wrap64
+from repro.workloads.values import fp_canon, fp_div, fp_sqrt
+
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+any_int = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+i64 = st.integers(min_value=I64_MIN, max_value=I64_MAX)
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert wrap64(42) == 42
+        assert wrap64(I64_MIN) == I64_MIN
+        assert wrap64(I64_MAX) == I64_MAX
+
+    def test_overflow_wraps(self):
+        assert wrap64(I64_MAX + 1) == I64_MIN
+        assert wrap64(I64_MIN - 1) == I64_MAX
+
+    @given(any_int)
+    def test_result_always_in_range(self, value):
+        assert I64_MIN <= wrap64(value) <= I64_MAX
+
+    @given(any_int)
+    def test_idempotent(self, value):
+        assert wrap64(wrap64(value)) == wrap64(value)
+
+    @given(any_int, any_int)
+    def test_addition_congruence(self, a, b):
+        assert wrap64(a + b) == wrap64(wrap64(a) + wrap64(b))
+
+    @given(i64)
+    def test_unsigned_roundtrip(self, value):
+        assert wrap64(to_unsigned64(value)) == value
+
+
+class TestIntDiv:
+    def test_truncates_toward_zero(self):
+        assert int_div(7, 2) == 3
+        assert int_div(-7, 2) == -3
+        assert int_div(7, -2) == -3
+        assert int_div(-7, -2) == 3
+
+    def test_divide_by_zero_is_total(self):
+        assert int_div(5, 0) == 0
+
+    @given(i64, i64)
+    def test_in_range(self, a, b):
+        assert I64_MIN <= int_div(a, b) <= I64_MAX
+
+    @given(i64.filter(lambda v: v != 0))
+    def test_self_division(self, a):
+        assert int_div(a, a) == 1
+
+
+class TestFloatHelpers:
+    def test_nan_collapses(self):
+        assert fp_canon(float("nan")) == 0.0
+
+    def test_inf_clamps(self):
+        assert fp_canon(float("inf")) == 1e308
+        assert fp_canon(float("-inf")) == -1e308
+
+    def test_sqrt_total_on_negative(self):
+        assert fp_sqrt(-4.0) == 2.0
+
+    def test_div_by_zero_total(self):
+        assert fp_div(1.0, 0.0) == 1e308
+        assert fp_div(-1.0, 0.0) == -1e308
+        assert fp_div(0.0, 0.0) == 0.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_canon_finite_passthrough(self, value):
+        assert fp_canon(value) == value
+
+    @given(
+        st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+        st.floats(min_value=-1e100, max_value=1e100, allow_nan=False),
+    )
+    def test_div_always_finite(self, a, b):
+        assert math.isfinite(fp_div(a, b))

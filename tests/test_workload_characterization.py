@@ -1,0 +1,94 @@
+"""Characterization tests: each profile must produce its calibrated class.
+
+These lock in the workload taxonomy the evaluation depends on — if a
+profile drifts out of its class (compute-bound / chain-bound /
+window-bound), every figure built on it silently changes meaning.
+"""
+
+import pytest
+
+from repro.isa import FUClass
+from repro.simulation import get_trace, simulate
+
+N = 10_000
+
+COMPUTE_APPS = ("gzip", "gcc", "vortex", "bzip2", "twolf", "parser", "vpr")
+MEMORY_APPS = ("mcf", "art")
+CHAIN_APPS = ("ammp",)
+
+
+@pytest.mark.parametrize("app", COMPUTE_APPS)
+def test_compute_apps_have_healthy_ipc(app):
+    result = simulate(get_trace(app, N), "sie")
+    assert result.ipc > 1.0, f"{app} should be compute-class"
+
+
+@pytest.mark.parametrize("app", MEMORY_APPS)
+def test_memory_apps_are_slow_and_touch_dram(app):
+    result = simulate(get_trace(app, N), "sie")
+    assert result.ipc < 1.0
+    assert result.pipeline.hier.dram.requests > 10
+
+
+@pytest.mark.parametrize("app", CHAIN_APPS)
+def test_chain_apps_idle_their_alus(app):
+    result = simulate(get_trace(app, N), "sie")
+    util = result.stats.fu_utilization(
+        FUClass.INT_ALU, result.pipeline.config.int_alu
+    )
+    assert result.ipc < 1.2
+    assert util < 0.5
+
+
+@pytest.mark.parametrize("app", COMPUTE_APPS)
+def test_compute_apps_cache_resident(app):
+    result = simulate(get_trace(app, N), "sie")
+    # A handful of cold far-heap touches allowed; no streaming.
+    assert result.pipeline.hier.dram.requests < N // 100
+
+
+def test_art_has_memory_level_parallelism():
+    """art's misses must be independent (the window can overlap them) —
+    that is what makes it the 2xRUU-responsive outlier."""
+    from repro.core import MachineConfig
+
+    trace = get_trace("art", N)
+    small = simulate(
+        trace,
+        "sie",
+        config=MachineConfig.baseline().scaled(ruu=1),
+    ).ipc
+    big = simulate(
+        trace,
+        "sie",
+        config=MachineConfig.baseline().scaled(ruu=2),
+    ).ipc
+    assert big > small * 1.3
+
+
+def test_mcf_is_latency_serialized():
+    """mcf chases pointers: a bigger window must NOT buy much."""
+    from repro.core import MachineConfig
+
+    trace = get_trace("mcf", N)
+    small = simulate(trace, "sie").ipc
+    big = simulate(
+        trace, "sie", config=MachineConfig.baseline().scaled(ruu=2)
+    ).ipc
+    assert big < small * 1.25
+
+
+@pytest.mark.parametrize("app", ("gcc", "vortex"))
+def test_reuse_rich_apps_have_big_static_footprints(app):
+    trace = get_trace(app, N)
+    assert trace.summary().unique_pcs > 500  # vs ~200-300 for loopy codes
+
+
+@pytest.mark.parametrize(
+    "app", COMPUTE_APPS + MEMORY_APPS + CHAIN_APPS + ("wupwise", "equake")
+)
+def test_all_profiles_show_consecutive_repetition(app):
+    """Every app must offer the IRB something (even the memory-bound
+    ones repeat operand values through their low-entropy data)."""
+    trace = get_trace(app, N)
+    assert trace.summary().value_repetition > 0.05

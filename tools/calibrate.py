@@ -1,0 +1,38 @@
+"""Calibration harness: Figure-2 shape + DIE-IRB recovery per app.
+
+Run after any profile/model change:  python tools/calibrate.py [N]
+"""
+import sys
+import statistics as st
+
+from repro import run_workload, MachineConfig, ipc_loss_pct, APP_NAMES
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+base = MachineConfig.baseline()
+cfg2a = base.scaled(alu=2)
+cfg2r = base.scaled(ruu=2)
+cfg2w = base.scaled(widths=2)
+
+cols = ("DIE", "2A", "2R", "2W", "IRB")
+rows = []
+for app in APP_NAMES:
+    sie = run_workload(app, model="sie", n_insts=N).ipc
+    die = run_workload(app, model="die", n_insts=N).ipc
+    a = run_workload(app, model="die", n_insts=N, config=cfg2a).ipc
+    r = run_workload(app, model="die", n_insts=N, config=cfg2r).ipc
+    w = run_workload(app, model="die", n_insts=N, config=cfg2w).ipc
+    irb = run_workload(app, model="die-irb", n_insts=N)
+    losses = [ipc_loss_pct(sie, x) for x in (die, a, r, w, irb.ipc)]
+    alu_rec = (irb.ipc - die) / (a - die) if a > die else float("nan")
+    all_rec = (irb.ipc - die) / (sie - die) if sie > die else float("nan")
+    rows.append(losses)
+    print(
+        f"{app:8s} sie={sie:5.2f} "
+        + " ".join(f"{c}={l:5.1f}" for c, l in zip(cols, losses))
+        + f"  reuse={irb.stats.irb_reuse_rate:.2f} aluRec={alu_rec:5.2f} allRec={all_rec:5.2f}"
+    )
+print(
+    "AVG      "
+    + " ".join(f"{c}={st.mean(r[i] for r in rows):5.1f}" for i, c in enumerate(cols))
+)
+print("paper:   DIE~22 2A~13 2R~16 2W~21; DIE-IRB: aluRec~0.5 allRec~0.23; art worst(43), ammp best(1)")
