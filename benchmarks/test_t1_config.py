@@ -1,6 +1,5 @@
 """T1 — machine configuration table."""
 
-from conftest import bench_apps, bench_n
 
 
 def test_t1_machine_configuration(run_experiment):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..isa import TraceInst
 
@@ -55,16 +55,18 @@ class DynInst:
         self.issued = False
         self.complete = False
         self.complete_cycle: Optional[int] = None
-        self.result = trace.result
-        self.mem_addr = trace.mem_addr
+        self.result: object = trace.result
+        self.mem_addr: object = trace.mem_addr
         self.mispredicted = False
         self.in_lsq = False
-        self.irb_entry = None
+        # IRB state (typed loosely: the entry class lives in the reuse
+        # package, which the base core must not import).
+        self.irb_entry: Optional[object] = None
         self.irb_ready_cycle = 0
         self.reuse_hit = False
         # Name-based IRB mode: (register, version) pairs captured at
         # dispatch (rename time) for each source operand.
-        self.name_ops = None
+        self.name_ops: Optional[Tuple[object, object]] = None
         self.squashed = False
 
     @property

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Optional, Tuple
 
 from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
 from ..isa import (
@@ -98,8 +98,9 @@ class OOOPipeline:
             [None] * NUM_REGS for _ in range(self.STREAMS)
         ]  # type: List[List[Optional[DynInst]]]
 
-        # Fault hook (installed by redundancy.faults.FaultInjector).
-        self.fault_injector = None
+        # Fault hook (installed by redundancy.faults.FaultInjector; typed
+        # loosely because the base core must stay redundancy-agnostic).
+        self.fault_injector: Optional[Any] = None
         self._retired_this_cycle: List[DynInst] = []
 
     # ==================================================================
@@ -206,6 +207,8 @@ class OOOPipeline:
                     f"({self.committed_arch}/{total} committed)"
                 )
         self.stats.cycles = self.cycle
+        if self.fault_injector is not None:
+            self.stats.faults_injected = self.fault_injector.log.injected
         return self.stats
 
     def _step(self) -> None:

@@ -34,7 +34,7 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheConfig:
     """Geometry and timing of one cache level."""
 

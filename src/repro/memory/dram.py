@@ -10,9 +10,10 @@ a request arriving while the bus is busy waits its turn.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
-@dataclass
+@dataclass(frozen=True)
 class DRAMConfig:
     """Timing of the main-memory model.
 
@@ -35,7 +36,7 @@ class DRAMConfig:
 class DRAM:
     """Single-server bandwidth-limited memory."""
 
-    def __init__(self, config: DRAMConfig = None):
+    def __init__(self, config: Optional[DRAMConfig] = None):
         self.config = config if config is not None else DRAMConfig()
         self._next_free = 0
         self.requests = 0

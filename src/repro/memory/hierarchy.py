@@ -14,7 +14,7 @@ from .cache import Cache, CacheConfig
 from .dram import DRAM, DRAMConfig
 
 
-@dataclass
+@dataclass(frozen=True)
 class HierarchyConfig:
     """Cache/DRAM parameters for the whole hierarchy.
 

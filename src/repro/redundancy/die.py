@@ -62,6 +62,7 @@ class DIEPipeline(OOOPipeline):
             and producer.is_duplicate
             and producer.trace.is_load
         ):
+            assert producer.pair is not None  # every DIE entry is paired
             return producer.pair
         return producer
 
@@ -70,6 +71,7 @@ class DIEPipeline(OOOPipeline):
         while len(self.ruu) >= 2 and used + 2 <= budget:
             primary = self.ruu[0]
             duplicate = primary.pair
+            assert duplicate is not None  # every DIE entry is paired
             if not (primary.complete and duplicate.complete):
                 break
             if not self.checker.check(primary, duplicate):

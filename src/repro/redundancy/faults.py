@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
-from ..core import DUPLICATE, PRIMARY, DynInst
+from ..core import DUPLICATE, PRIMARY, DynInst, OOOPipeline
 
 EXEC_PRIMARY = "exec_primary"
 EXEC_DUP = "exec_dup"
@@ -126,7 +126,7 @@ class FaultInjector:
                 if hit == {PRIMARY, DUPLICATE}:
                     self._consumed.add(index)
 
-    def on_tick(self, pipeline) -> None:
+    def on_tick(self, pipeline: OOOPipeline) -> None:
         """Apply due IRB-cell strikes (DIE-IRB pipelines expose ``irb``)."""
         if not self._irb_pending:
             return

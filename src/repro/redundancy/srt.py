@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..core import MachineConfig, OOOPipeline
+from ..core import MachineConfig, OOOPipeline, SimStats
 from ..core.dyninst import DUPLICATE, PRIMARY, DynInst
 from ..isa import TraceInst
 from ..workloads import Trace
@@ -210,6 +210,6 @@ class SRTPipeline(OOOPipeline):
 
     # ==================================================================
 
-    def run(self, max_cycles: Optional[int] = None):
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
         stats = super().run(max_cycles)
         return stats

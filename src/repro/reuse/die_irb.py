@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core import MachineConfig
+from ..core import MachineConfig, SimStats
 from ..core.dyninst import PRIMARY, DynInst
 from ..isa import TraceInst, is_reusable
 from ..redundancy import CommitChecker, DIEPipeline
@@ -177,7 +177,7 @@ class DIEIRBPipeline(DIEPipeline):
         if primary.pair.reuse_hit:
             self.irb.invalidate(primary.trace.pc)
 
-    def run(self, max_cycles: Optional[int] = None):
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
         stats = super().run(max_cycles)
         stats.irb_writes = self.irb.stats.writes
         stats.irb_write_drops = self.irb.stats.write_drops

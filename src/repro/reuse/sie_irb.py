@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..core import MachineConfig, OOOPipeline
+from ..core import MachineConfig, OOOPipeline, SimStats
 from ..core.dyninst import DynInst
 from ..isa import TraceInst, is_reusable
 from ..workloads import Trace
@@ -106,7 +106,7 @@ class SIEIRBPipeline(OOOPipeline):
     def _hook_tick(self) -> None:
         self.irb.drain(self.ports, self.cycle)
 
-    def run(self, max_cycles: Optional[int] = None):
+    def run(self, max_cycles: Optional[int] = None) -> SimStats:
         stats = super().run(max_cycles)
         stats.irb_writes = self.irb.stats.writes
         stats.irb_write_drops = self.irb.stats.write_drops

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 def ipc_loss_pct(sie_ipc: float, other_ipc: float) -> float:
     """Percentage IPC loss of a configuration relative to SIE (Figure 2).
@@ -33,7 +35,7 @@ def recovered_fraction(base: float, improved: float, bound: float) -> float:
     return (improved - base) / gap
 
 
-def geometric_mean(values) -> float:
+def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean (the conventional IPC-ratio aggregate)."""
     values = list(values)
     if not values:
@@ -46,7 +48,7 @@ def geometric_mean(values) -> float:
     return product ** (1.0 / len(values))
 
 
-def arithmetic_mean(values) -> float:
+def arithmetic_mean(values: Iterable[float]) -> float:
     """Plain average (the paper reports arithmetic-mean IPC-loss percents)."""
     values = list(values)
     if not values:

@@ -100,7 +100,8 @@ def simulate(
     if irb_config is not None and model not in _IRB_MODELS:
         raise ValueError(f"model {model!r} takes no IRB configuration")
     if model in _IRB_MODELS:
-        pipeline = cls(trace, config, irb_config)
+        # IRB pipeline constructors take the extra irb_config parameter.
+        pipeline = cls(trace, config, irb_config)  # type: ignore[call-arg]
     else:
         pipeline = cls(trace, config)
     if fault_injector is not None:

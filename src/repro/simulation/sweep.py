@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -18,7 +18,7 @@ class SweepResult:
 def sweep(
     axes: Sequence[Tuple[str, Iterable[object]]],
     run: Callable[..., object],
-    progress: Callable[[Dict[str, object]], None] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> List[SweepResult]:
     """Run ``run(**params)`` over the cartesian product of ``axes``.
 

@@ -1,0 +1,21 @@
+"""SL001 fixture: every flavour of non-determinism the rule must catch."""
+
+import random
+import time
+from random import randint  # noqa: F401  (flagged at the import)
+
+
+def wall_clock_seed():
+    return time.time()
+
+
+def global_rng_draw():
+    return random.random()
+
+
+def unseeded_instance():
+    return random.Random()
+
+
+def numpy_global(np):
+    return np.random.rand(4)

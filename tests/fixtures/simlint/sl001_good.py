@@ -1,0 +1,19 @@
+"""SL001 fixture: the sanctioned patterns — seeded, config-flowing RNG."""
+
+import random
+
+
+def seeded_instance(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def derived_stream(rng: random.Random, name: str) -> random.Random:
+    return random.Random(f"{name}:{rng.randrange(1 << 30)}")
+
+
+def seeded_numpy(np, seed: int):
+    return np.random.default_rng(seed)
+
+
+def draws(rng: random.Random) -> float:
+    return rng.random() + rng.randint(0, 7)

@@ -1,0 +1,20 @@
+"""SL002 fixture: a typo'd counter bump and a dead declared counter."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipeStats:
+    lookups: int = 0
+    hits: int = 0
+    never_written: int = 0  # dead: nothing in this tree ever stores it
+
+
+class Model:
+    def __init__(self):
+        self.stats = PipeStats()
+
+    def probe(self, hit: bool) -> None:
+        self.stats.lookups += 1
+        if hit:
+            self.stats.hitz += 1  # typo: declared field is `hits`

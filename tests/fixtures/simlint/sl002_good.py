@@ -1,0 +1,26 @@
+"""SL002 fixture: declared counters, all written; property reads allowed."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PipeStats:
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Model:
+    def __init__(self):
+        self.stats = PipeStats()
+
+    def probe(self, hit: bool) -> None:
+        self.stats.lookups += 1
+        if hit:
+            self.stats.hits += 1
+
+    def report(self) -> float:
+        return self.stats.hit_rate

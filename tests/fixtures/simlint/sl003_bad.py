@@ -1,0 +1,21 @@
+"""SL003 fixture: reads of config attributes that were never declared."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    width: int = 8
+    depth: int = 4
+
+
+def annotated_read(config: CoreConfig) -> int:
+    return config.widht  # typo: declared field is `width`
+
+
+class Model:
+    def __init__(self, config=None):
+        self.config = config if config is not None else CoreConfig()
+
+    def stage_count(self) -> int:
+        return self.config.n_stages  # never declared on CoreConfig

@@ -1,0 +1,28 @@
+"""SL003 fixture: declared fields, properties and methods all resolve."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    width: int = 8
+    depth: int = 4
+
+    @property
+    def slots(self) -> int:
+        return self.width * self.depth
+
+    def describe(self) -> str:
+        return f"{self.width}x{self.depth}"
+
+
+def annotated_read(config: CoreConfig) -> int:
+    return config.width + config.slots
+
+
+class Model:
+    def __init__(self, config=None):
+        self.config = config if config is not None else CoreConfig()
+
+    def banner(self) -> str:
+        return self.config.describe()

@@ -1,0 +1,3 @@
+"""SL004 fixture: a base-core module importing redundancy machinery."""
+
+from ..redundancy import checker  # noqa: F401

@@ -1,0 +1,13 @@
+"""SL004 fixture: pair comparison and cross-stream reads outside checker."""
+
+
+def sneak_check(primary, duplicate) -> bool:
+    return primary.output() == duplicate.output()
+
+
+def steal_result(inst):
+    return inst.pair.result
+
+
+def steal_output(inst):
+    return inst.pair.output()

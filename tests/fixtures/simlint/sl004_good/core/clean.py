@@ -1,0 +1,9 @@
+"""SL004 fixture: base-core code with only downward imports."""
+
+import heapq  # noqa: F401
+
+
+def bookkeeping_read(inst) -> bool:
+    # Reading a pair's bookkeeping flag carries no computed value across
+    # streams, so it is allowed even in sphere packages.
+    return inst.pair.reuse_hit

@@ -1,0 +1,5 @@
+"""SL004 fixture: checker.py is the one sanctioned observation point."""
+
+
+def check(primary, duplicate) -> bool:
+    return primary.output() == duplicate.output()

@@ -1,0 +1,21 @@
+"""SL005 fixture: frozen-config mutation, setattr bypass, mutable default."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    width: int = 8
+
+
+def widen(config: CoreConfig) -> None:
+    config.width = 16
+
+
+def widen_bypass(config: CoreConfig) -> None:
+    object.__setattr__(config, "width", 16)
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc

@@ -1,0 +1,20 @@
+"""SL005 fixture: replace() for new configs, None-defaulted accumulators."""
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    width: int = 8
+
+
+def widen(config: CoreConfig) -> CoreConfig:
+    return replace(config, width=config.width * 2)
+
+
+def collect(item, acc: Optional[List] = None) -> List:
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

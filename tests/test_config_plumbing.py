@@ -3,7 +3,6 @@
 import dataclasses
 
 from repro.core import MachineConfig
-from repro.isa import FUClass
 from repro.memory import CacheConfig, DRAMConfig, HierarchyConfig
 from repro.simulation import get_trace, simulate
 

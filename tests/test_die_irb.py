@@ -1,6 +1,5 @@
 """Directed tests for the DIE-IRB pipeline (the paper's contribution)."""
 
-import dataclasses
 
 from repro.core import MachineConfig, PRIMARY
 from repro.isa import Opcode, int_reg
@@ -9,7 +8,7 @@ from repro.redundancy.faults import IRB_ENTRY
 from repro.reuse import DIEIRBPipeline, IRBConfig
 from repro.simulation import simulate
 
-from helpers import addi, assemble, straightline
+from helpers import addi, assemble
 from repro.workloads.executor import FunctionalExecutor
 
 R1, R2, R3 = int_reg(1), int_reg(2), int_reg(3)

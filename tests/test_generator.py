@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.isa import Opcode, is_branch, is_cond_branch
+from repro.isa import Opcode, is_cond_branch
 from repro.workloads import (
     APP_NAMES,
     SPEC2000_PROFILES,
@@ -15,7 +15,7 @@ from repro.workloads import (
     get_profile,
     load_workload,
 )
-from repro.workloads.generator import INT_ACCS, R_CHASE, ProgramGenerator
+from repro.workloads.generator import INT_ACCS, R_CHASE
 
 
 class TestProfiles:

@@ -14,7 +14,7 @@ from repro.core import DeadlockError, MachineConfig, OOOPipeline
 from repro.isa import Opcode, int_reg
 from repro.simulation import simulate
 
-from helpers import addi, assemble, straightline
+from helpers import addi, straightline
 
 R1, R2, R3, R4, R5 = (int_reg(i) for i in range(1, 6))
 

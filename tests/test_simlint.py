@@ -1,0 +1,198 @@
+"""Tests for the simlint static analyzer (tools/simlint).
+
+Each rule gets one known-bad fixture (must fire) and one known-good
+fixture (must stay silent), plus suppression, reporter, CLI and
+self-check coverage.  Fixtures live under ``tests/fixtures/simlint``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from tools.simlint import run_paths
+from tools.simlint.cli import main as cli_main
+from tools.simlint.framework import all_rules, get_rule, parse_suppressions
+from tools.simlint.reporters import render_json, render_text
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "simlint")
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+RULE_IDS = ("SL001", "SL002", "SL003", "SL004", "SL005")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def rule_hits(path: str, rule_id: str):
+    return [v for v in run_paths([path], [rule_id])]
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert [rule.id for rule in all_rules()] == list(RULE_IDS)
+
+    def test_every_rule_has_summary(self):
+        for rule in all_rules():
+            assert rule.summary
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            get_rule("SL999")
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestPerRuleFixtures:
+    """One failing and one passing case per rule (acceptance criterion)."""
+
+    def _paths(self, rule_id):
+        stem = rule_id.lower()
+        bad, good = fixture(f"{stem}_bad"), fixture(f"{stem}_good")
+        if not os.path.isdir(bad):
+            bad, good = bad + ".py", good + ".py"
+        return bad, good
+
+    def test_bad_fixture_fires(self, rule_id):
+        bad, _ = self._paths(rule_id)
+        assert rule_hits(bad, rule_id), f"{rule_id} silent on {bad}"
+
+    def test_good_fixture_clean(self, rule_id):
+        _, good = self._paths(rule_id)
+        assert rule_hits(good, rule_id) == [], f"{rule_id} fired on {good}"
+
+
+class TestRuleDetails:
+    def test_sl001_catches_each_kind(self):
+        messages = "\n".join(
+            v.message for v in rule_hits(fixture("sl001_bad.py"), "SL001")
+        )
+        assert "time.time" in messages
+        assert "random.random" in messages
+        assert "unseeded" in messages
+        assert "randint" in messages  # the from-import
+
+    def test_sl002_typo_names_the_declared_class(self):
+        violations = rule_hits(fixture("sl002_bad.py"), "SL002")
+        typo = [v for v in violations if "hitz" in v.message]
+        assert len(typo) == 1
+        assert "PipeStats" in typo[0].message
+
+    def test_sl002_dead_counter_reported_at_declaration(self):
+        violations = rule_hits(fixture("sl002_bad.py"), "SL002")
+        dead = [v for v in violations if "never_written" in v.message]
+        assert len(dead) == 1
+        assert "never written" in dead[0].message
+
+    def test_sl003_annotated_param_and_self_config(self):
+        messages = [v.message for v in rule_hits(fixture("sl003_bad.py"), "SL003")]
+        assert any("widht" in m for m in messages)
+        assert any("n_stages" in m for m in messages)
+
+    def test_sl004_layering_and_pair_reads(self):
+        messages = "\n".join(
+            v.message for v in rule_hits(fixture("sl004_bad"), "SL004")
+        )
+        assert "redundancy-agnostic" in messages
+        assert "pair-output comparison" in messages
+        assert ".pair.result" in messages
+        assert ".pair.output()" in messages
+
+    def test_sl005_all_three_kinds(self):
+        messages = "\n".join(
+            v.message for v in rule_hits(fixture("sl005_bad.py"), "SL005")
+        )
+        assert "config.width" in messages
+        assert "setattr" in messages
+        assert "mutable default" in messages
+
+
+class TestSuppression:
+    def test_pragmas_silence_known_bad_code(self):
+        assert run_paths([fixture("suppressed.py")]) == []
+
+    def test_parse_line_pragmas(self):
+        supp = parse_suppressions(
+            ["x = 1", "y = f()  # simlint: disable=SL001,SL005", "z = 2"]
+        )
+        assert supp.is_suppressed("SL001", 2)
+        assert supp.is_suppressed("SL005", 2)
+        assert not supp.is_suppressed("SL002", 2)
+        assert not supp.is_suppressed("SL001", 3)
+
+    def test_parse_file_pragma(self):
+        supp = parse_suppressions(["# simlint: disable-file=SL004"])
+        assert supp.is_suppressed("SL004", 999)
+        assert not supp.is_suppressed("SL001", 999)
+
+    def test_bare_disable_silences_everything_on_line(self):
+        supp = parse_suppressions(["bad()  # simlint: disable"])
+        for rule_id in RULE_IDS:
+            assert supp.is_suppressed(rule_id, 1)
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert render_text([]) == "simlint: clean"
+
+    def test_text_lists_and_tallies(self):
+        violations = run_paths([fixture("sl001_bad.py")], ["SL001"])
+        text = render_text(violations)
+        assert "sl001_bad.py:" in text
+        assert f"SL001: {len(violations)}" in text
+
+    def test_json_roundtrip(self):
+        violations = run_paths([fixture("sl005_bad.py")], ["SL005"])
+        payload = json.loads(render_json(violations))
+        assert payload["count"] == len(violations) > 0
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "message"}
+        assert first["rule"] == "SL005"
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_tree(self):
+        assert cli_main([fixture("sl001_good.py")]) == 0
+
+    def test_exit_one_on_findings(self):
+        assert cli_main([fixture("sl001_bad.py")]) == 1
+
+    def test_exit_two_on_missing_path(self):
+        assert cli_main([fixture("does_not_exist")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    def test_rule_subset(self):
+        # sl005_bad has no SL001 findings, so the subset run is clean.
+        assert cli_main([fixture("sl005_bad.py"), "--rules", "SL001"]) == 0
+
+    def test_module_invocation_matches_issue_command(self):
+        """`python -m tools.simlint src/repro` is the documented interface."""
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.simlint", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+
+class TestSelfCheck:
+    """The simulator source itself must satisfy every invariant."""
+
+    def test_src_repro_is_clean(self):
+        violations = run_paths([SRC])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_seeded_bad_fixtures_nonzero_via_cli(self):
+        for stem in ("sl001", "sl002", "sl003", "sl005"):
+            assert cli_main([fixture(f"{stem}_bad.py")]) == 1
+        assert cli_main([fixture("sl004_bad")]) == 1

@@ -1,7 +1,7 @@
 """Directed tests for squash/rewind state hygiene."""
 
 from repro.core import OOOPipeline
-from repro.isa import Opcode, int_reg
+from repro.isa import int_reg
 from repro.redundancy import DIEPipeline, Fault, FaultInjector
 from repro.redundancy.faults import EXEC_DUP, EXEC_PRIMARY
 from repro.simulation import simulate

@@ -1,0 +1,39 @@
+"""simlint: AST-based invariant analysis for the simulator source tree.
+
+The timing models make quantitative claims (IPC recovered, fault coverage)
+that are only reproducible if three properties hold everywhere:
+
+1. **Determinism** — no wall-clock or global-RNG input to any model;
+   randomness flows exclusively from seeded ``random.Random`` instances.
+2. **Accounting integrity** — every statistics counter that is bumped is a
+   declared field (typos otherwise create orphan attributes and the real
+   counter silently reports 0), and every declared counter is written by
+   some model (dead counters misreport as "measured: 0").
+3. **Structural invariants** — config objects are frozen and accessed only
+   through declared fields; the Sphere of Replication is honoured (only
+   the commit checker compares the two streams' outputs; the base core
+   never imports redundancy machinery).
+
+Run as ``python -m tools.simlint src/repro``.  See ``docs/ANALYSIS.md``
+for the rule catalogue and suppression syntax.
+"""
+
+from .framework import (  # noqa: F401
+    Rule,
+    RuleViolation,
+    all_rules,
+    get_rule,
+    register,
+    run_paths,
+)
+from .project import ProjectIndex  # noqa: F401
+
+__all__ = [
+    "Rule",
+    "RuleViolation",
+    "ProjectIndex",
+    "all_rules",
+    "get_rule",
+    "register",
+    "run_paths",
+]

@@ -1,0 +1,75 @@
+"""Command-line front end: ``python -m tools.simlint [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .framework import all_rules, run_paths
+from .reporters import REPORTERS, render_rule_list
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.simlint",
+        description="AST-based invariant analysis for the simulator source.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="SL001,SL002,...",
+        help="comma-separated rule subset (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(render_rule_list(all_rules()))
+        return 0
+    rule_ids = (
+        [item.strip() for item in options.rules.split(",") if item.strip()]
+        if options.rules
+        else None
+    )
+    try:
+        violations = run_paths(options.paths, rule_ids)
+    except (FileNotFoundError, KeyError, SyntaxError) as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(REPORTERS[options.format](violations))
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; the
+        # findings still determine the exit status.  Point stdout at
+        # devnull so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

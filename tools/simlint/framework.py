@@ -1,0 +1,172 @@
+"""Core machinery shared by every simlint rule.
+
+A rule is a class with an ``id`` (``SLxxx``), a one-line ``summary``, and a
+``check_module`` generator that yields :class:`RuleViolation` objects for
+one parsed module, given the project-wide :class:`ProjectIndex`.
+
+Suppression:
+
+* ``# simlint: disable=SL001`` (or ``disable=SL001,SL005``) on the
+  offending line silences those rules for that line only.
+* ``# simlint: disable`` on a line silences every rule for that line.
+* ``# simlint: disable-file=SL004`` anywhere in a file silences the rule
+  for the whole file (``disable-file`` with no ``=`` silences all rules —
+  for generated code only; use sparingly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from .project import ModuleInfo, ProjectIndex
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel rule-set meaning "every rule".
+ALL = "*"
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One finding: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for all simlint rules."""
+
+    id: str = "SL000"
+    summary: str = ""
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleInfo, node, message: str
+    ) -> RuleViolation:
+        """Build a violation anchored at an AST node."""
+        return RuleViolation(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not re.fullmatch(r"SL\d{3}", rule_cls.id):
+        raise ValueError(f"bad rule id {rule_cls.id!r} (want SLxxx)")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def _ensure_rules_loaded() -> None:
+    # Import for side effects: each rule module registers itself.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by id."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_rules_loaded()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from the source text."""
+
+    by_line: Dict[int, set] = field(default_factory=dict)
+    file_wide: set = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if ALL in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return ALL in rules or rule_id in rules
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    """Extract ``# simlint: disable...`` pragmas from source text."""
+    supp = Suppressions()
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        kind, spec = match.group(1), match.group(2)
+        rules = (
+            {item.strip() for item in spec.split(",") if item.strip()}
+            if spec
+            else {ALL}
+        )
+        if kind == "disable-file":
+            supp.file_wide |= rules
+        else:
+            supp.by_line.setdefault(lineno, set()).update(rules)
+    return supp
+
+
+def run_paths(
+    paths: Iterable[str],
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[RuleViolation]:
+    """Analyze ``paths`` (files or directories) with the selected rules.
+
+    Returns all unsuppressed violations sorted by (path, line, col, rule).
+    """
+    index = ProjectIndex.build(paths)
+    rules = (
+        [get_rule(rule_id) for rule_id in rule_ids]
+        if rule_ids
+        else all_rules()
+    )
+    violations: List[RuleViolation] = []
+    for module in index.modules:
+        supp = parse_suppressions(module.source_lines)
+        for rule in rules:
+            for violation in rule.check_module(module, index):
+                if not supp.is_suppressed(violation.rule_id, violation.line):
+                    violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations

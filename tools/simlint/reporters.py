@@ -1,0 +1,38 @@
+"""Output formatting for simlint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .framework import Rule, RuleViolation
+
+
+def render_text(violations: Sequence[RuleViolation]) -> str:
+    """One ``path:line:col: RULE message`` line per finding, plus a tally."""
+    lines: List[str] = [violation.render() for violation in violations]
+    if violations:
+        by_rule = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        tally = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+        lines.append(f"simlint: {len(violations)} finding(s) ({tally})")
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[RuleViolation]) -> str:
+    """Machine-readable report (stable key order, one object per finding)."""
+    payload = {
+        "findings": [violation.to_dict() for violation in violations],
+        "count": len(violations),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    return "\n".join(f"{rule.id}  {rule.summary}" for rule in rules)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

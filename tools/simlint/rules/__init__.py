@@ -1,0 +1,9 @@
+"""Rule modules; importing this package registers every rule."""
+
+from . import (  # noqa: F401
+    sl001_determinism,
+    sl002_stats,
+    sl003_config,
+    sl004_sphere,
+    sl005_frozen,
+)

@@ -1,0 +1,159 @@
+"""SL001 — determinism: no wall-clock or global-RNG input to any model.
+
+Reproduction claims (Figure 2 anchors, the ~50% ALU-bandwidth recovery)
+require that two runs with the same seed produce identical traces and
+identical cycle counts.  The only permitted randomness is a *seeded*
+``random.Random`` instance flowing from workload/config seeds:
+
+* ``time.time`` / ``perf_counter`` / ``monotonic`` / ``datetime.now`` and
+  friends are flagged (wall-clock leaking into model state).
+* Module-level RNG calls (``random.random()``, ``random.seed()``,
+  ``np.random.rand()``, ...) are flagged: the global generator is shared
+  mutable state whose sequence depends on call order across modules.
+* ``random.Random()`` with no seed argument is flagged; pass a seed.
+* ``from random import random`` / ``from time import time`` are flagged at
+  the import (aliasing hides the later call sites from review).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Rule, RuleViolation, register
+from ..project import ModuleInfo, ProjectIndex
+
+_CLOCK_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+_BANNED_FROM_IMPORTS = {
+    "time": _CLOCK_FUNCS,
+    "random": {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "getrandbits",
+    },
+    "datetime": set(),  # handled at call sites; importing the class is fine
+}
+
+
+def _root_name(node: ast.expr) -> str:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+@register
+class DeterminismRule(Rule):
+    id = "SL001"
+    summary = "no wall-clock or global-RNG use inside the simulator"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_import_from(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> Iterator[RuleViolation]:
+        banned = _BANNED_FROM_IMPORTS.get(node.module or "")
+        if not banned:
+            return
+        for alias in node.names:
+            if alias.name in banned:
+                yield self.violation(
+                    module,
+                    node,
+                    f"import of non-deterministic `{node.module}.{alias.name}`; "
+                    f"thread a seeded random.Random through config instead",
+                )
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[RuleViolation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+
+        # time.<clock>()
+        if isinstance(receiver, ast.Name) and receiver.id == "time":
+            if func.attr in _CLOCK_FUNCS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock call `time.{func.attr}()` in simulator code; "
+                    f"model time must come from the cycle counter",
+                )
+            return
+
+        # datetime.now() / datetime.datetime.now() / date.today()
+        if func.attr in _DATETIME_FUNCS and _root_name(receiver) in (
+            "datetime",
+            "date",
+        ):
+            yield self.violation(
+                module,
+                node,
+                f"wall-clock call `{ast.unparse(func)}()` in simulator code",
+            )
+            return
+
+        # random.<anything>() on the random *module*
+        if isinstance(receiver, ast.Name) and receiver.id == "random":
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        module,
+                        node,
+                        "unseeded `random.Random()`; pass a seed derived "
+                        "from workload/config state",
+                    )
+                return
+            if func.attr == "SystemRandom":
+                yield self.violation(
+                    module, node, "`random.SystemRandom` is never reproducible"
+                )
+                return
+            yield self.violation(
+                module,
+                node,
+                f"module-level RNG call `random.{func.attr}()`; use a seeded "
+                f"random.Random instance",
+            )
+            return
+
+        # np.random.<anything>() / numpy.random.<anything>()
+        if (
+            isinstance(receiver, ast.Attribute)
+            and receiver.attr == "random"
+            and _root_name(receiver) in ("np", "numpy")
+        ):
+            if func.attr == "default_rng" and (node.args or node.keywords):
+                return  # seeded generator: fine
+            yield self.violation(
+                module,
+                node,
+                f"numpy global-RNG call `{ast.unparse(func)}()`; use "
+                f"`default_rng(seed)`",
+            )

@@ -1,0 +1,141 @@
+"""SL002 — stats discipline: counters must be declared, and declared
+counters must be written.
+
+Two failure modes this catches:
+
+* **Typo'd counter** — ``self.stats.irb_lokups += 1`` creates an orphan
+  attribute on the stats object; the declared ``irb_lookups`` field keeps
+  reporting 0 and every downstream hit-rate silently halves.  Any
+  attribute accessed through a ``stats`` receiver must be a declared
+  field / property / method of a known ``*Stats`` dataclass.  Where a
+  class binds ``self.stats = SomeStats(...)`` in its own body, accesses in
+  that class are checked against *that* class exactly (catching
+  cross-class confusions like bumping ``pc_hits`` on a ``SimStats``).
+* **Dead counter** — a declared ``int`` field of a ``*Stats`` dataclass
+  that is never the target of a write anywhere in the tree.  Such a field
+  reports "measured: 0" while measuring nothing; either wire it up or
+  delete it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from ..framework import Rule, RuleViolation, register
+from ..project import DataclassInfo, ModuleInfo, ProjectIndex
+
+#: attributes every object has; never worth flagging
+_OBJECT_ATTRS = {"__dict__", "__class__"}
+
+
+def _stats_receiver(node: ast.Attribute) -> bool:
+    """True if ``node``'s receiver is a ``stats``-named object."""
+    receiver = node.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "stats"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "stats"
+    return False
+
+
+def _self_stats_binding(
+    cls: ast.ClassDef, stats_classes: Dict[str, DataclassInfo]
+) -> Optional[DataclassInfo]:
+    """The stats class assigned to ``self.stats`` in ``cls``'s body, if any."""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "stats"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in stats_classes
+            ):
+                return stats_classes[node.value.func.id]
+    return None
+
+
+@register
+class StatsDisciplineRule(Rule):
+    id = "SL002"
+    summary = "stats counters must be declared fields, and declared counters written"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        stats_classes = index.stats_classes()
+        if not stats_classes:
+            return
+        union_members = set()
+        for info in stats_classes.values():
+            union_members |= info.members
+
+        # -- typo'd / undeclared accesses -------------------------------
+        # Walk classes first so accesses inside a class with a known
+        # `self.stats = X()` binding are checked exactly; everything else
+        # falls back to the union of all declared stats members.
+        claimed = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bound = _self_stats_binding(node, stats_classes)
+            if bound is None:
+                continue
+            for access in ast.walk(node):
+                if not isinstance(access, ast.Attribute):
+                    continue
+                if not (
+                    isinstance(access.value, ast.Attribute)
+                    and access.value.attr == "stats"
+                    and isinstance(access.value.value, ast.Name)
+                    and access.value.value.id == "self"
+                ):
+                    continue
+                claimed.add(id(access))
+                if access.attr in _OBJECT_ATTRS:
+                    continue
+                if access.attr not in bound.members:
+                    yield self.violation(
+                        module,
+                        access,
+                        f"`self.stats.{access.attr}` is not a declared member "
+                        f"of {bound.name} (declared in {bound.path})",
+                    )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute) or id(node) in claimed:
+                continue
+            if not _stats_receiver(node) or node.attr in _OBJECT_ATTRS:
+                continue
+            if node.attr not in union_members:
+                yield self.violation(
+                    module,
+                    node,
+                    f"`.stats.{node.attr}` matches no declared member of any "
+                    f"*Stats dataclass ({', '.join(sorted(stats_classes))})",
+                )
+
+        # -- dead counters ----------------------------------------------
+        # Reported once, at the declaration site (only for classes declared
+        # in this module, so the finding is not repeated per analyzed file).
+        for info in stats_classes.values():
+            if info.path != module.path:
+                continue
+            for field_name, decl_line in info.int_fields().items():
+                if field_name not in index.attr_writes:
+                    yield RuleViolation(
+                        path=module.path,
+                        line=decl_line,
+                        col=0,
+                        rule_id=self.id,
+                        message=(
+                            f"counter {info.name}.{field_name} is declared but "
+                            f"never written anywhere in the analyzed tree; it "
+                            f"will always report 0"
+                        ),
+                    )

@@ -1,0 +1,199 @@
+"""SL003 — config-field access: reads through a config object must name a
+declared dataclass field (or property/method).
+
+The config dataclasses are frozen, so a misspelled *write* raises — but a
+misspelled or stale *read* (``config.fetchwidth``, ``config.l1_size``)
+only raises at run time, typically deep inside a sweep after minutes of
+simulation, or never, when it hides behind a ``getattr`` default.  This
+pass checks every attribute read through a config receiver statically.
+
+Resolution, most-precise first:
+
+* A function parameter or variable annotated ``SomeConfig`` (including
+  ``Optional[SomeConfig]``) checks exactly against that class.
+* A class that binds ``self.config = SomeConfig(...)`` (directly or via
+  the ``config if config is not None else SomeConfig(...)`` idiom) checks
+  ``self.config.X`` exactly against that class.
+* Any other ``<expr>.config.X`` / ``config.X`` read checks against the
+  union of every ``*Config`` dataclass in the analyzed tree — weaker, but
+  still catches attribute names that exist nowhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..framework import Rule, RuleViolation, register
+from ..project import DataclassInfo, ModuleInfo, ProjectIndex
+
+_OBJECT_ATTRS = {"__dict__", "__class__"}
+
+
+def _annotation_config_name(
+    annotation: Optional[ast.expr], config_classes: Dict[str, DataclassInfo]
+) -> Optional[str]:
+    """``SomeConfig`` named by an annotation, unwrapping Optional/quotes."""
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):  # Optional[X] / Union[X, None]
+        node = node.slice
+        if isinstance(node, ast.Tuple):
+            for element in node.elts:
+                name = _annotation_config_name(element, config_classes)
+                if name:
+                    return name
+            return None
+    if isinstance(node, ast.Name) and node.id in config_classes:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in config_classes:
+        return node.attr
+    return None
+
+
+def _config_call_name(
+    node: ast.expr, config_classes: Dict[str, DataclassInfo]
+) -> Optional[str]:
+    """The ``SomeConfig`` constructed anywhere inside expression ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id in config_classes
+        ):
+            return sub.func.id
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr in ("baseline", "default")
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in config_classes
+        ):
+            return sub.value.id
+    return None
+
+
+def _self_config_binding(
+    cls: ast.ClassDef, config_classes: Dict[str, DataclassInfo]
+) -> Optional[str]:
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "config"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                name = _config_call_name(node.value, config_classes)
+                if name:
+                    return name
+    return None
+
+
+@register
+class ConfigAccessRule(Rule):
+    id = "SL003"
+    summary = "attribute reads on config objects must name declared fields"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        config_classes = index.config_classes()
+        if not config_classes:
+            return
+        union_members: Set[str] = set()
+        for info in config_classes.values():
+            union_members |= info.members
+
+        # function scopes with annotated config params/vars -> exact checks
+        claimed: Set[int] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            bindings: Dict[str, str] = {}
+            args = func.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                name = _annotation_config_name(arg.annotation, config_classes)
+                if name:
+                    bindings[arg.arg] = name
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    name = _annotation_config_name(stmt.annotation, config_classes)
+                    if name:
+                        bindings[stmt.target.id] = name
+            if not bindings:
+                continue
+            for access in ast.walk(func):
+                if (
+                    isinstance(access, ast.Attribute)
+                    and isinstance(access.value, ast.Name)
+                    and access.value.id in bindings
+                ):
+                    claimed.add(id(access))
+                    info = config_classes[bindings[access.value.id]]
+                    if (
+                        access.attr not in info.members
+                        and access.attr not in _OBJECT_ATTRS
+                    ):
+                        yield self.violation(
+                            module,
+                            access,
+                            f"`{access.value.id}.{access.attr}` is not a "
+                            f"declared member of {info.name} (declared in "
+                            f"{info.path})",
+                        )
+
+        # classes binding self.config = SomeConfig(...) -> exact checks
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            bound_name = _self_config_binding(cls, config_classes)
+            if bound_name is None:
+                continue
+            info = config_classes[bound_name]
+            for access in ast.walk(cls):
+                if (
+                    isinstance(access, ast.Attribute)
+                    and isinstance(access.value, ast.Attribute)
+                    and access.value.attr == "config"
+                    and isinstance(access.value.value, ast.Name)
+                    and access.value.value.id == "self"
+                ):
+                    claimed.add(id(access))
+                    if (
+                        access.attr not in info.members
+                        and access.attr not in _OBJECT_ATTRS
+                    ):
+                        yield self.violation(
+                            module,
+                            access,
+                            f"`self.config.{access.attr}` is not a declared "
+                            f"member of {info.name} (declared in {info.path})",
+                        )
+
+        # everything else: union check over <...>.config.X and config.X
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute) or id(node) in claimed:
+                continue
+            receiver = node.value
+            is_config_receiver = (
+                isinstance(receiver, ast.Name) and receiver.id in ("config", "cfg")
+            ) or (isinstance(receiver, ast.Attribute) and receiver.attr == "config")
+            if not is_config_receiver or node.attr in _OBJECT_ATTRS:
+                continue
+            if node.attr not in union_members:
+                yield self.violation(
+                    module,
+                    node,
+                    f"`.config.{node.attr}` matches no declared member of any "
+                    f"*Config dataclass in the analyzed tree",
+                )

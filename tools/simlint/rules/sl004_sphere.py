@@ -1,0 +1,128 @@
+"""SL004 — Sphere-of-Replication leakage.
+
+The fault-coverage argument (paper Section 3.4) rests on exactly one
+component being allowed to observe both execution streams: the commit
+checker.  If any other module compares primary and duplicate outputs — or
+reaches across a pair for the other stream's result value — a future
+"optimization" can short-circuit the check and silently void the
+coverage results.  Two sub-checks:
+
+* **Layering** — base-core packages (``core``, ``isa``, ``memory``,
+  ``branch``, ``workloads``) must not import from ``redundancy`` or
+  ``reuse``.  The SIE core is the control in every experiment; redundancy
+  machinery flows *down* into it via subclass hooks, never up.
+* **Pair consumption** — in ``redundancy``/``reuse`` modules other than
+  ``checker.py``, no comparison may have ``.output()`` calls on both
+  sides, and no expression may read ``.pair.result`` / ``.pair.mem_addr``
+  or call ``.pair.output()``.  Reading a pair's *bookkeeping* flags
+  (``.pair.reuse_hit``, ``.pair.complete``) is fine — those carry no
+  computed value between streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Rule, RuleViolation, register
+from ..project import ModuleInfo, ProjectIndex
+
+#: packages that must stay redundancy-agnostic
+BASE_CORE_PACKAGES = {"core", "isa", "memory", "branch", "workloads"}
+
+#: packages that may host pair-handling code (subject to the checker rule)
+SPHERE_PACKAGES = {"redundancy", "reuse"}
+
+#: the one module allowed to compare the two streams' outputs
+CHECKER_BASENAME = "checker.py"
+
+#: value-carrying attributes that must not be read through ``.pair``
+_PAIR_VALUE_ATTRS = {"result", "mem_addr"}
+
+
+def _is_output_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "output"
+    )
+
+
+@register
+class SphereRule(Rule):
+    id = "SL004"
+    summary = "only the commit checker may consume duplicate-stream results"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        parts = set(module.parts)
+        if parts & BASE_CORE_PACKAGES:
+            yield from self._check_layering(module)
+        if parts & SPHERE_PACKAGES and module.basename != CHECKER_BASENAME:
+            yield from self._check_pair_consumption(module)
+
+    # -- layering -------------------------------------------------------
+
+    def _check_layering(self, module: ModuleInfo) -> Iterator[RuleViolation]:
+        for node in ast.walk(module.tree):
+            target = None
+            if isinstance(node, ast.ImportFrom):
+                target = node.module or ""
+            elif isinstance(node, ast.Import):
+                target = ",".join(alias.name for alias in node.names)
+            if target is None:
+                continue
+            segments = set(target.replace(",", ".").split("."))
+            leaked = segments & SPHERE_PACKAGES
+            if leaked:
+                yield self.violation(
+                    module,
+                    node,
+                    f"base-core module imports `{sorted(leaked)[0]}`: the SIE "
+                    f"core must stay redundancy-agnostic (hooks flow down, "
+                    f"imports never flow up)",
+                )
+
+    # -- pair consumption -----------------------------------------------
+
+    def _check_pair_consumption(
+        self, module: ModuleInfo
+    ) -> Iterator[RuleViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if sum(1 for side in sides if _is_output_call(side)) >= 2:
+                    yield self.violation(
+                        module,
+                        node,
+                        "pair-output comparison outside redundancy/checker.py; "
+                        "route it through CommitChecker.check so the sphere "
+                        "has a single observation point",
+                    )
+            if isinstance(node, ast.Attribute):
+                receiver = node.value
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and receiver.attr == "pair"
+                    and node.attr in _PAIR_VALUE_ATTRS
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"cross-stream value read `.pair.{node.attr}` outside "
+                        f"redundancy/checker.py",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "output"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "pair"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "cross-stream call `.pair.output()` outside "
+                    "redundancy/checker.py",
+                )

@@ -1,0 +1,106 @@
+"""SL005 — frozen-state mutation and mutable default arguments.
+
+Config objects are frozen dataclasses precisely so a sweep can share one
+instance across hundreds of runs; code that assigns through a config
+receiver (or launders the write through ``object.__setattr__``) would
+corrupt every concurrently-shared run.  A frozen dataclass raises on
+plain assignment at run time — but only when that line actually executes;
+this pass flags it statically, including the ``__setattr__`` bypass the
+run-time check cannot see.
+
+Mutable default arguments (``def f(x, acc=[])``) are the same bug in
+miniature: state shared across calls that looks per-call.  Flagged
+everywhere in the analyzed tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Rule, RuleViolation, register
+from ..project import ModuleInfo, ProjectIndex
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+
+def _is_config_receiver(node: ast.expr) -> bool:
+    """True for ``config.X`` / ``cfg.X`` / ``<expr>.config.X`` receivers."""
+    if isinstance(node, ast.Name):
+        return node.id in ("config", "cfg")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "config"
+    return False
+
+
+@register
+class FrozenStateRule(Rule):
+    id = "SL005"
+    summary = "no writes through config objects; no mutable default args"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        frozen_names = set(index.frozen_classes())
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and _is_config_receiver(
+                        target.value
+                    ):
+                        yield self.violation(
+                            module,
+                            target,
+                            f"assignment to `{ast.unparse(target)}`: config "
+                            f"objects are frozen; build a new one with "
+                            f"dataclasses.replace",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_setattr_bypass(module, node, frozen_names)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_mutable_defaults(module, node)
+
+    def _check_setattr_bypass(
+        self, module: ModuleInfo, node: ast.Call, frozen_names: set
+    ) -> Iterator[RuleViolation]:
+        func = node.func
+        is_object_setattr = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )
+        is_plain_setattr = isinstance(func, ast.Name) and func.id == "setattr"
+        if not (is_object_setattr or is_plain_setattr) or not node.args:
+            return
+        first = node.args[0]
+        if _is_config_receiver(first) or (
+            isinstance(first, ast.Name) and first.id in frozen_names
+        ):
+            yield self.violation(
+                module,
+                node,
+                "setattr on a frozen config object bypasses the frozen "
+                "contract; build a new instance instead",
+            )
+
+    def _check_mutable_defaults(
+        self, module: ModuleInfo, node
+    ) -> Iterator[RuleViolation]:
+        args = node.args
+        for default in [*args.defaults, *(d for d in args.kw_defaults if d)]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                yield self.violation(
+                    module,
+                    default,
+                    f"mutable default argument `{ast.unparse(default)}` in "
+                    f"`{node.name}`; default to None and construct inside",
+                )
