@@ -1,0 +1,93 @@
+"""Campaign-harness benchmark: serial vs parallel wall-clock, store hit rate.
+
+Runs one mini-campaign (every app under SIE / DIE / DIE-IRB) three ways —
+serial cold, parallel cold, then parallel against the now-warm store —
+and writes the timings to ``results/BENCH_campaign.json``::
+
+    python benchmarks/bench_campaign.py [--jobs N] [--n INSTS] [--apps a,b]
+
+Scale knobs mirror the other benchmarks: ``REPRO_BENCH_N`` and
+``REPRO_BENCH_APPS`` environment variables are honoured as defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.campaign import Job, ResultStore, run_campaign
+from repro.workloads import APP_NAMES
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+MODELS = ("sie", "die", "die-irb")
+
+
+def build_jobs(apps: Sequence[str], n_insts: int) -> List[Job]:
+    return [Job(app, n_insts, model=model) for app in apps for model in MODELS]
+
+
+def timed_campaign(jobs: List[Job], jobs_n: int, store: ResultStore) -> dict:
+    start = time.perf_counter()
+    outcome = run_campaign(jobs, jobs_n=jobs_n, store=store)
+    wall = time.perf_counter() - start
+    return {
+        "jobs_n": jobs_n,
+        "wall_s": round(wall, 3),
+        "executed": outcome.executed,
+        "store_hits": outcome.store_hits,
+        "hit_rate": round(outcome.store_hits / len(jobs), 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "--n", type=int, default=int(os.environ.get("REPRO_BENCH_N", 12_000))
+    )
+    parser.add_argument("--apps", default=os.environ.get("REPRO_BENCH_APPS"))
+    args = parser.parse_args()
+
+    apps = tuple(args.apps.split(",")) if args.apps else APP_NAMES
+    jobs = build_jobs(apps, args.n)
+    root = Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    try:
+        serial = timed_campaign(jobs, 1, ResultStore(root / "serial"))
+        parallel = timed_campaign(jobs, args.jobs, ResultStore(root / "parallel"))
+        # Third pass reuses the parallel pass's store: pure hits.
+        warm = timed_campaign(jobs, args.jobs, ResultStore(root / "parallel"))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    payload = {
+        "benchmark": "campaign",
+        "apps": list(apps),
+        "models": list(MODELS),
+        "n_insts": args.n,
+        "total_jobs": len(jobs),
+        "serial": serial,
+        "parallel": parallel,
+        "warm_store": warm,
+        "speedup_parallel": round(serial["wall_s"] / max(parallel["wall_s"], 1e-9), 2),
+        "speedup_warm": round(serial["wall_s"] / max(warm["wall_s"], 1e-9), 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_campaign.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwritten to {out_path}")
+    if warm["executed"] != 0:
+        print("ERROR: warm-store pass re-simulated jobs")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""Declarative simulation requests: the unit of work of a campaign.
+
+A :class:`Job` names everything a simulation depends on — workload,
+instruction count, seed, timing model, machine/IRB configuration and an
+optional transient-fault plan — without holding any live state (no trace,
+no pipeline).  That makes jobs hashable into stable content keys
+(:mod:`.keys`), picklable across worker processes (:mod:`.scheduler`) and
+serialisable into the on-disk store (:mod:`.store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core import MachineConfig, SimStats
+from ..redundancy import Fault
+from ..reuse import IRBConfig
+from ..simulation.runner import MODELS
+
+#: Provenance source values.
+SOURCE_RUN = "run"
+SOURCE_STORE = "store"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation, fully specified by value.
+
+    Attributes:
+        workload: application name (one of ``repro.workloads.APP_NAMES``).
+        n_insts: dynamic instruction count.
+        seed: workload-generation seed.
+        model: timing-model key (one of ``repro.simulation.MODELS``).
+        config: machine configuration; ``None`` means the paper baseline.
+        irb_config: IRB parameters (IRB models only); ``None`` = default.
+        faults: planned transient faults, in injection order.
+        warmup: functionally warm caches/predictor before timing.
+        max_cycles: deadlock-guard override for the run.
+    """
+
+    workload: str
+    n_insts: int
+    seed: int = 1
+    model: str = "sie"
+    config: Optional[MachineConfig] = None
+    irb_config: Optional[IRBConfig] = None
+    faults: Tuple[Fault, ...] = ()
+    warmup: bool = True
+    max_cycles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.model not in MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}; choose from {sorted(MODELS)}"
+            )
+        if self.n_insts < 1:
+            raise ValueError("n_insts must be >= 1")
+        if not isinstance(self.faults, tuple):
+            # Accept any iterable at construction; store a tuple so the
+            # job stays hashable and content-addressable.
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def trace_key(self) -> Tuple[str, int, int]:
+        """The trace this job simulates; jobs sharing it share generation."""
+        return (self.workload, self.n_insts, self.seed)
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from and what it cost.
+
+    Only host-independent facts plus the wall time are recorded — no
+    hostnames, absolute timestamps or paths — so stores can be diffed and
+    shipped between machines without noise.
+    """
+
+    source: str  # SOURCE_RUN or SOURCE_STORE
+    wall_time_s: float
+    code_version: str
+
+    def __post_init__(self) -> None:
+        if self.source not in (SOURCE_RUN, SOURCE_STORE):
+            raise ValueError(f"unknown provenance source {self.source!r}")
+
+
+@dataclass
+class JobResult:
+    """One job's outcome: the statistics plus provenance."""
+
+    job: Job
+    stats: SimStats
+    provenance: Provenance = field(
+        default_factory=lambda: Provenance(SOURCE_RUN, 0.0, "")
+    )
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def from_store(self) -> bool:
+        return self.provenance.source == SOURCE_STORE

@@ -1,0 +1,61 @@
+"""Content-addressing for jobs: spec -> stable hexadecimal key.
+
+The key is a SHA-256 over the *canonical* JSON form of the job spec plus
+a code-version salt.  Two processes (or two machines) building the same
+``Job`` always derive the same key; any change to any field — a machine
+width, an IRB port count, a fault's target — changes it.  Bump
+:data:`CODE_VERSION` whenever a timing model's behaviour changes, so
+stale store entries are never replayed against new semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from .jobs import Job
+
+#: Salt mixed into every key.  Bump on any change that alters simulated
+#: statistics for an identical spec (pipeline timing, workload
+#: generation, stat semantics) — the store then misses cleanly instead of
+#: serving results computed by older code.
+CODE_VERSION = "campaign-v1"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-able structure.
+
+    Dataclasses become ``{"__type__": name, **fields}`` (the type tag
+    distinguishes e.g. a default ``MachineConfig`` from a default
+    ``IRBConfig``), enums become their names, tuples become lists.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {"__type__": type(value).__name__}
+        for f in dataclasses.fields(value):
+            out[f.name] = canonical(getattr(value, f.name))
+        return out
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for content hashing")
+
+
+def job_spec(job: Job) -> dict:
+    """The canonical spec dict hashed into the key (also stored as provenance)."""
+    spec = canonical(job)
+    spec["__code_version__"] = CODE_VERSION
+    return spec
+
+
+def job_key(job: Job) -> str:
+    """Stable content hash of ``job`` under the current :data:`CODE_VERSION`."""
+    payload = json.dumps(job_spec(job), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

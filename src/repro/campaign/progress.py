@@ -1,0 +1,59 @@
+"""Progress reporting and the campaign layer's one sanctioned clock.
+
+simlint's SL001 bans wall-clock reads anywhere under ``src/repro`` —
+model time must come from the cycle counter.  Campaign *provenance* (how
+long a simulation took on this host) is the single legitimate exception,
+and it is funnelled through :func:`wall_clock` so the suppression stays
+one line wide and every other campaign module remains rule-clean with no
+pragmas at all (``tests/test_simlint.py`` locks this in).  The value
+never feeds back into any timing model.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from .jobs import JobResult
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds — for provenance only, never model state."""
+    return time.perf_counter()  # simlint: disable=SL001
+
+
+class ProgressPrinter:
+    """Per-job progress lines, written to stderr by default.
+
+    The stream is separate from the result tables on stdout, so piping
+    ``python -m repro campaign ... > tables.txt`` stays clean.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+
+    def __call__(self, done: int, total: int, result: JobResult) -> None:
+        if not self.enabled:
+            return
+        job = result.job
+        width = len(str(total))
+        source = (
+            "store"
+            if result.from_store
+            else f"{result.provenance.wall_time_s:6.2f}s"
+        )
+        extras = []
+        if job.config is not None:
+            extras.append("cfg")
+        if job.irb_config is not None:
+            extras.append("irb-cfg")
+        if job.faults:
+            extras.append(f"{len(job.faults)} faults")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(
+            f"  [{done:{width}d}/{total}] {job.workload:>8s} "
+            f"{job.model:<12s} n={job.n_insts}{suffix}  {source}",
+            file=self.stream,
+        )

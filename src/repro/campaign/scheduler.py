@@ -1,0 +1,239 @@
+"""Campaign execution: store lookups, trace-grouped parallel fan-out.
+
+``run_campaign`` turns a list of :class:`~.jobs.Job` into a list of
+:class:`~.jobs.JobResult` with three guarantees:
+
+* **Determinism** — results are returned in submission order and are
+  bit-identical whatever ``jobs_n`` is: workers only ever run the same
+  seeded simulations the serial path would.
+* **No repeated work** — jobs whose key is already in the store are
+  answered without simulating; duplicate keys *within* one batch
+  simulate once and fan the result out.
+* **Trace sharing** — jobs are grouped by ``(workload, n_insts, seed)``
+  and each group is dispatched as one task, so a worker generates each
+  trace once (the runner's per-process trace cache covers re-dispatch of
+  the same trace to the same pool worker).
+
+Ctrl-C drains gracefully: results of groups that already finished are
+persisted to the store before ``KeyboardInterrupt`` propagates, so an
+interrupted campaign resumes from where it stopped.
+
+An ambient :class:`CampaignContext` (``with campaign_context(...):``)
+lets high-level entry points — the experiment registry, the CLI — set
+the parallelism and store once while inner layers keep calling
+``run_campaign(jobs)`` with no extra plumbing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core import SimStats
+from ..redundancy import FaultInjector
+from ..simulation.runner import get_trace, simulate
+from .jobs import SOURCE_RUN, SOURCE_STORE, Job, JobResult, Provenance
+from .keys import CODE_VERSION, job_key
+from .progress import wall_clock
+from .store import ResultStore
+
+ProgressFn = Callable[[int, int, JobResult], None]
+
+#: One task for a worker: [(submission index, job), ...] sharing a trace.
+_Group = List[Tuple[int, Job]]
+
+
+def execute_job(job: Job) -> SimStats:
+    """Run one job to completion in this process and return its statistics."""
+    trace = get_trace(job.workload, job.n_insts, job.seed)
+    injector = FaultInjector(list(job.faults)) if job.faults else None
+    result = simulate(
+        trace,
+        model=job.model,
+        config=job.config,
+        irb_config=job.irb_config,
+        fault_injector=injector,
+        max_cycles=job.max_cycles,
+        warmup=job.warmup,
+    )
+    return result.stats
+
+
+def _run_group(group: _Group) -> List[Tuple[int, SimStats, float]]:
+    """Worker entry point: simulate one trace-sharing group of jobs."""
+    out = []
+    for index, job in group:
+        start = wall_clock()
+        stats = execute_job(job)
+        out.append((index, stats, wall_clock() - start))
+    return out
+
+
+def _group_by_trace(indexed_jobs: Sequence[Tuple[int, Job]]) -> List[_Group]:
+    """Partition jobs by trace key, preserving submission order within each."""
+    groups: Dict[Tuple[str, int, int], _Group] = {}
+    for index, job in indexed_jobs:
+        groups.setdefault(job.trace_key, []).append((index, job))
+    return list(groups.values())
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one ``run_campaign`` call produced."""
+
+    results: List[JobResult]  # submission order
+    executed: int = 0  # simulations actually run
+    store_hits: int = 0  # jobs answered from the store
+    deduped: int = 0  # duplicate-key jobs answered by a sibling
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class CampaignContext:
+    """Ambient campaign settings plus cross-call counters."""
+
+    jobs_n: int = 1
+    store: Optional[ResultStore] = None
+    progress: Optional[ProgressFn] = None
+    executed: int = 0
+    store_hits: int = 0
+
+    def absorb(self, outcome: CampaignOutcome) -> None:
+        self.executed += outcome.executed
+        self.store_hits += outcome.store_hits
+
+
+_ACTIVE_CONTEXT: Optional[CampaignContext] = None
+
+
+def current_context() -> Optional[CampaignContext]:
+    """The innermost active campaign context, if any."""
+    return _ACTIVE_CONTEXT
+
+
+@contextmanager
+def campaign_context(
+    jobs_n: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Iterator[CampaignContext]:
+    """Install an ambient context for nested ``run_campaign`` calls."""
+    global _ACTIVE_CONTEXT
+    context = CampaignContext(jobs_n=jobs_n, store=store, progress=progress)
+    previous = _ACTIVE_CONTEXT
+    _ACTIVE_CONTEXT = context
+    try:
+        yield context
+    finally:
+        _ACTIVE_CONTEXT = previous
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps the parent's (already warm) trace cache and sys.path;
+    # fall back to spawn where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    jobs: Sequence[Job],
+    jobs_n: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignOutcome:
+    """Resolve every job — from the store where possible, else simulate.
+
+    Args:
+        jobs: the batch, in the order results should come back.
+        jobs_n: worker processes; ``None`` defers to the ambient context
+            (default 1 = run serially in-process, no pool).
+        store: result store; ``None`` defers to the ambient context
+            (which may itself have none — then nothing persists).
+        progress: per-job callback ``(done, total, result)``; ``None``
+            defers to the ambient context.
+    """
+    context = current_context()
+    if jobs_n is None:
+        jobs_n = context.jobs_n if context else 1
+    if store is None and context is not None:
+        store = context.store
+    if progress is None and context is not None:
+        progress = context.progress
+
+    start = wall_clock()
+    total = len(jobs)
+    results: List[Optional[JobResult]] = [None] * total
+    outcome = CampaignOutcome(results=[])
+    done = 0
+
+    def finish(index: int, result: JobResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    # 1. Store lookups + intra-batch dedup: only unique misses simulate.
+    first_index_for_key: Dict[str, int] = {}
+    duplicates: Dict[int, List[int]] = {}  # first index -> follower indices
+    pending: List[Tuple[int, Job]] = []
+    for index, job in enumerate(jobs):
+        key = job_key(job)
+        if store is not None:
+            found = store.get(key)
+            if found is not None:
+                stats, provenance = found
+                outcome.store_hits += 1
+                finish(index, JobResult(job, stats, provenance))
+                continue
+        first = first_index_for_key.setdefault(key, index)
+        if first != index:
+            duplicates.setdefault(first, []).append(index)
+            outcome.deduped += 1
+        else:
+            pending.append((index, job))
+
+    def complete(index: int, stats: SimStats, wall: float) -> None:
+        job = jobs[index]
+        provenance = Provenance(SOURCE_RUN, wall, CODE_VERSION)
+        if store is not None:
+            store.put(job, stats, provenance)
+        outcome.executed += 1
+        finish(index, JobResult(job, stats, provenance))
+        for follower in duplicates.get(index, ()):
+            finish(
+                follower,
+                JobResult(jobs[follower], stats, Provenance(SOURCE_STORE, wall, CODE_VERSION)),
+            )
+
+    # 2. Execute the misses, grouped so each trace is generated once.
+    groups = _group_by_trace(pending)
+    if groups:
+        if jobs_n <= 1 or len(groups) == 1:
+            for group in groups:
+                for index, stats, wall in _run_group(group):
+                    complete(index, stats, wall)
+        else:
+            ctx = _pool_context()
+            workers = min(jobs_n, len(groups))
+            with ctx.Pool(processes=workers) as pool:
+                iterator = pool.imap_unordered(_run_group, groups)
+                try:
+                    for group_result in iterator:
+                        for index, stats, wall in group_result:
+                            complete(index, stats, wall)
+                except KeyboardInterrupt:
+                    # Drain: everything completed above is already in the
+                    # store; abandon the rest and propagate.
+                    pool.terminate()
+                    raise
+
+    outcome.results = [r for r in results if r is not None]
+    if len(outcome.results) != total:
+        raise RuntimeError("campaign lost results (scheduler bug)")
+    outcome.wall_time_s = wall_clock() - start
+    if context is not None:
+        context.absorb(outcome)
+    return outcome

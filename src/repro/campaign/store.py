@@ -1,0 +1,174 @@
+"""Persistent, content-addressed result store.
+
+Layout (no sqlite, no external deps — one JSON document per result,
+fanned out over 256 two-hex-digit shard directories to keep directory
+listings short)::
+
+    results/store/
+        ab/abcdef....json      # key -> {format, spec, stats, provenance}
+        ab/ab1234....json
+        cd/cd5678....json
+
+Writes are atomic (temp file + ``os.replace``), so a campaign killed
+mid-write never leaves a truncated entry, and concurrent campaigns
+sharing a store at worst both compute the same result and one rename
+wins.  Entries written under a different :data:`~.keys.CODE_VERSION`
+are unreachable by construction — the version is salted into the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core import SimStats
+from ..isa import FUClass
+from .jobs import Job, Provenance
+from .keys import job_key, job_spec
+
+#: On-disk document schema version (bump on layout changes).
+STORE_FORMAT = 1
+
+#: Default store root, relative to the working directory.
+DEFAULT_ROOT = Path("results") / "store"
+
+_FU_DICT_FIELDS = ("fu_issued", "fu_busy_cycles")
+
+
+def stats_to_dict(stats: SimStats) -> dict:
+    """Serialise every declared SimStats field (and nothing derived)."""
+    out: dict = {}
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if f.name in _FU_DICT_FIELDS:
+            value = {fu.name: count for fu, count in value.items()}
+        out[f.name] = value
+    return out
+
+
+def stats_from_dict(payload: dict) -> SimStats:
+    """Rebuild a :class:`SimStats` from :func:`stats_to_dict` output."""
+    kwargs: dict = {}
+    for f in dataclasses.fields(SimStats):
+        if f.name not in payload:
+            continue  # field added after the entry was written: keep default
+        value = payload[f.name]
+        if f.name in _FU_DICT_FIELDS:
+            value = {FUClass[name]: count for name, count in value.items()}
+        kwargs[f.name] = value
+    return SimStats(**kwargs)
+
+
+class ResultStore:
+    """Key -> (SimStats, provenance) map persisted under ``root``.
+
+    Session counters (``hits``/``misses``/``writes``) track only the
+    current process, for progress reporting and the CLI summary line.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else DEFAULT_ROOT
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Tuple[SimStats, Provenance]]:
+        """Look up one result; ``None`` (a miss) on absent/corrupt entries."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if document.get("format") != STORE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        prov = document.get("provenance", {})
+        return (
+            stats_from_dict(document["stats"]),
+            Provenance(
+                source="store",
+                wall_time_s=float(prov.get("wall_time_s", 0.0)),
+                code_version=str(prov.get("code_version", "")),
+            ),
+        )
+
+    def get_job(self, job: Job) -> Optional[Tuple[SimStats, Provenance]]:
+        return self.get(job_key(job))
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, job: Job, stats: SimStats, provenance: Provenance) -> str:
+        """Persist one result atomically; returns the key written."""
+        key = job_key(job)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "spec": job_spec(job),
+            "stats": stats_to_dict(stats),
+            "provenance": {
+                "wall_time_s": provenance.wall_time_s,
+                "code_version": provenance.code_version,
+            },
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return key
+
+    # -- maintenance ---------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def session_counts(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

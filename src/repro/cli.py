@@ -6,14 +6,18 @@ Commands:
 * ``run`` — simulate one workload on one model, print the statistics.
 * ``compare`` — SIE vs DIE vs DIE-IRB side by side on one workload.
 * ``experiment`` — regenerate one paper table/figure by id.
+* ``campaign`` — regenerate several artifacts through the parallel,
+  store-backed campaign harness (see ``docs/CAMPAIGNS.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from .campaign import ProgressPrinter, ResultStore, campaign_context
 from .core import MachineConfig
 from .experiments import EXPERIMENTS, get_experiment
 from .isa import FUClass
@@ -53,11 +57,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sie,die,die-irb",
         help=f"comma-separated subset of: {', '.join(sorted(MODELS))}",
     )
+    compare.add_argument(
+        "--json", action="store_true", help="emit the comparison rows as JSON"
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp.add_argument("id", help=f"one of {', '.join(EXPERIMENTS)}")
     exp.add_argument("--apps", default=None, help="comma-separated subset")
     exp.add_argument("--n", type=int, default=None, help="instructions per run")
+    exp.add_argument("--seed", type=int, default=None, help="workload seed")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="regenerate artifacts via the parallel, store-backed harness",
+    )
+    camp.add_argument("ids", nargs="+", help=f"experiment ids ({', '.join(EXPERIMENTS)})")
+    camp.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default 1 = serial)")
+    camp.add_argument("--apps", default=None, help="comma-separated subset")
+    camp.add_argument("--n", type=int, default=None, help="instructions per run")
+    camp.add_argument("--seed", type=int, default=None, help="workload seed")
+    camp.add_argument("--store-dir", default=None, metavar="DIR",
+                      help="result-store root (default results/store)")
+    camp.add_argument("--no-store", action="store_true",
+                      help="neither read nor write the result store")
+    camp.add_argument("--clear-store", action="store_true",
+                      help="empty the store before running")
+    camp.add_argument("--quiet", action="store_true",
+                      help="suppress per-job progress on stderr")
 
     return parser
 
@@ -126,6 +153,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 result.stats.irb_reuse_rate,
             )
         )
+    if args.json:
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "n_insts": args.n,
+            "seed": args.seed,
+            "baseline": "sie",
+            "models": [
+                {
+                    "model": name.lower(),
+                    "ipc": ipc,
+                    "loss_pct_vs_sie": loss,
+                    "irb_reuse_rate": reuse,
+                }
+                for name, ipc, loss, reuse in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         format_table(
             ["model", "IPC", "loss% vs SIE", "reuse"],
@@ -142,13 +189,49 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(error, file=sys.stderr)
         return 2
-    kwargs = {}
+    kwargs = _experiment_kwargs(args)
+    result = experiment.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _experiment_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
     if args.apps:
         kwargs["apps"] = tuple(args.apps.split(","))
     if args.n:
         kwargs["n_insts"] = args.n
-    result = experiment.run(**kwargs)
-    print(result.render())
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        experiments = [get_experiment(exp_id) for exp_id in args.ids]
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+        if args.clear_store:
+            removed = store.clear()
+            print(f"store cleared ({removed} entries)", file=sys.stderr)
+    kwargs = _experiment_kwargs(args)
+    progress = ProgressPrinter(enabled=not args.quiet)
+    with campaign_context(
+        jobs_n=args.jobs, store=store, progress=progress
+    ) as context:
+        for experiment in experiments:
+            result = experiment.run(**kwargs)
+            print(result.render())
+            print()
+    print(
+        f"campaign: {context.executed} simulation(s) run, "
+        f"{context.store_hits} store hit(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -163,4 +246,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 
 @dataclass
@@ -59,17 +59,18 @@ def run(
 ) -> ForwardingResult:
     """Compare DIE-IRB with and without IRB result forwarding."""
     loss_plain, loss_fwd, forgone = {}, {}, {}
+    all_runs = run_apps(
+        apps,
+        [
+            ("sie", "sie", None, None),
+            ("plain", "die-irb", None, None),
+            ("fwd", "die-irb-fwd", None, None),
+        ],
+        n_insts=n_insts,
+        seed=seed,
+    )
     for app in apps:
-        runs = run_models(
-            app,
-            [
-                ("sie", "sie", None, None),
-                ("plain", "die-irb", None, None),
-                ("fwd", "die-irb-fwd", None, None),
-            ],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         loss_plain[app] = runs.loss("plain")
         loss_fwd[app] = runs.loss("fwd")
         forgone[app] = loss_plain[app] - loss_fwd[app]

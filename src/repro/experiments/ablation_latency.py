@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 
 from ..reuse import IRBConfig
 from ..simulation import format_series
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 DEFAULT_LATENCIES = (1, 3, 5, 8, 12)
 
@@ -48,13 +48,14 @@ def run(
 ) -> LatencySweepResult:
     """Sweep the pipelined IRB access depth."""
     loss: Dict[int, Dict[str, float]] = {lat: {} for lat in latencies}
+    models = [("sie", "sie", None, None)]
+    models += [
+        (f"lat{v}", "die-irb", None, IRBConfig(lookup_latency=v))
+        for v in latencies
+    ]
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        models += [
-            (f"lat{v}", "die-irb", None, IRBConfig(lookup_latency=v))
-            for v in latencies
-        ]
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         for v in latencies:
             loss[v][app] = runs.loss(f"lat{v}")
     return LatencySweepResult(

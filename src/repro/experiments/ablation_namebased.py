@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 
 from ..reuse import IRBConfig
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 
 @dataclass
@@ -61,17 +61,18 @@ def run(
     """Compare the two reuse-test schemes on the same workloads."""
     value_reuse, name_reuse = {}, {}
     value_loss, name_loss = {}, {}
+    all_runs = run_apps(
+        apps,
+        [
+            ("sie", "sie", None, None),
+            ("value", "die-irb", None, IRBConfig(name_based=False)),
+            ("name", "die-irb", None, IRBConfig(name_based=True)),
+        ],
+        n_insts=n_insts,
+        seed=seed,
+    )
     for app in apps:
-        runs = run_models(
-            app,
-            [
-                ("sie", "sie", None, None),
-                ("value", "die-irb", None, IRBConfig(name_based=False)),
-                ("name", "die-irb", None, IRBConfig(name_based=True)),
-            ],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         value_reuse[app] = runs.results["value"].stats.irb_reuse_rate
         name_reuse[app] = runs.results["name"].stats.irb_reuse_rate
         value_loss[app] = runs.loss("value")

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 
 @dataclass
@@ -62,18 +62,19 @@ def run(
 ) -> SieIrbResult:
     """Measure IRB speedup on SIE and on DIE for every application."""
     sie_speedup, die_speedup, sie_reuse, die_reuse = {}, {}, {}, {}
+    all_runs = run_apps(
+        apps,
+        [
+            ("sie", "sie", None, None),
+            ("sie-irb", "sie-irb", None, None),
+            ("die", "die", None, None),
+            ("die-irb", "die-irb", None, None),
+        ],
+        n_insts=n_insts,
+        seed=seed,
+    )
     for app in apps:
-        runs = run_models(
-            app,
-            [
-                ("sie", "sie", None, None),
-                ("sie-irb", "sie-irb", None, None),
-                ("die", "die", None, None),
-                ("die-irb", "die-irb", None, None),
-            ],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         sie_speedup[app] = runs.ipc("sie-irb") / runs.ipc("sie")
         die_speedup[app] = runs.ipc("die-irb") / runs.ipc("die")
         sie_reuse[app] = runs.results["sie-irb"].stats.irb_reuse_rate

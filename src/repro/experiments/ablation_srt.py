@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 _MODELS = ("die", "srt", "die-irb")
 _LABELS = {"die": "DIE", "srt": "SRT", "die-irb": "DIE-IRB"}
@@ -58,10 +58,11 @@ def run(
 ) -> SRTResult:
     """Compare DIE, SRT and DIE-IRB IPC losses on every application."""
     loss: Dict[str, Dict[str, float]] = {m: {} for m in _MODELS}
+    models = [("sie", "sie", None, None)]
+    models += [(m, m, None, None) for m in _MODELS]
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        models += [(m, m, None, None) for m in _MODELS]
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         for m in _MODELS:
             loss[m][app] = runs.loss(m)
     return SRTResult(apps=list(apps), loss=loss)

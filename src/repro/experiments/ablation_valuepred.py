@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 
 @dataclass
@@ -69,17 +69,18 @@ def run(
 ) -> ValuePredResult:
     """Compare DIE-IRB and DIE-VP on every application."""
     loss_irb, loss_vp, irb_service, vp_service = {}, {}, {}, {}
+    all_runs = run_apps(
+        apps,
+        [
+            ("sie", "sie", None, None),
+            ("irb", "die-irb", None, None),
+            ("vp", "die-vp", None, None),
+        ],
+        n_insts=n_insts,
+        seed=seed,
+    )
     for app in apps:
-        runs = run_models(
-            app,
-            [
-                ("sie", "sie", None, None),
-                ("irb", "die-irb", None, None),
-                ("vp", "die-vp", None, None),
-            ],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         loss_irb[app] = runs.loss("irb")
         loss_vp[app] = runs.loss("vp")
         irb_service[app] = runs.results["irb"].stats.irb_reuse_hits / n_insts

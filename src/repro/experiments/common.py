@@ -10,8 +10,9 @@ laptop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign import Job, run_campaign
 from ..core import MachineConfig
 from ..reuse import IRBConfig
 from ..simulation import RunResult, get_trace, ipc_loss_pct, simulate
@@ -39,21 +40,68 @@ class AppRun:
         return ipc_loss_pct(self.ipc(baseline), self.ipc(key))
 
 
+#: One experiment variant: (result key, model name, machine config, IRB config).
+ModelSpec = Tuple[str, str, Optional[MachineConfig], Optional[IRBConfig]]
+
+
 def run_models(
     app: str,
-    models: Sequence[Tuple[str, str, Optional[MachineConfig], Optional[IRBConfig]]],
+    models: Sequence[ModelSpec],
     n_insts: int = DEFAULT_N,
     seed: int = 1,
 ) -> AppRun:
     """Simulate one app under several (key, model, config, irb) variants.
 
-    The trace is generated once and shared across all variants.
+    The trace is generated once and shared across all variants.  This is
+    the *direct* path: results keep their live pipeline objects, for the
+    experiments (T2) that read state beyond ``SimStats``.  Everything
+    else should go through :func:`run_apps`, which parallelises and hits
+    the campaign result store.
     """
     trace = get_trace(app, n_insts, seed)
     out = AppRun(app=app)
     for key, model, config, irb_config in models:
         out.results[key] = simulate(
             trace, model=model, config=config, irb_config=irb_config
+        )
+    return out
+
+
+def run_apps(
+    apps: Sequence[str],
+    models: Sequence[ModelSpec],
+    n_insts: int = DEFAULT_N,
+    seed: int = 1,
+) -> Dict[str, AppRun]:
+    """Simulate every app under every variant through the campaign layer.
+
+    The whole (app x variant) batch is submitted as one campaign, so an
+    ambient :func:`repro.campaign.campaign_context` parallelises it
+    across worker processes and answers repeated specs from the result
+    store.  Without a context it degrades to the serial in-process path
+    with identical statistics.  Returned ``RunResult``s carry no live
+    pipeline (stats only).
+    """
+    jobs: List[Job] = []
+    labels: List[Tuple[str, str]] = []
+    for app in apps:
+        for key, model, config, irb_config in models:
+            jobs.append(
+                Job(
+                    workload=app,
+                    n_insts=n_insts,
+                    seed=seed,
+                    model=model,
+                    config=config,
+                    irb_config=irb_config,
+                )
+            )
+            labels.append((app, key))
+    outcome = run_campaign(jobs)
+    out = {app: AppRun(app=app) for app in apps}
+    for (app, key), job_result in zip(labels, outcome.results):
+        out[app].results[key] = RunResult(
+            model=job_result.job.model, workload=app, stats=job_result.stats
         )
     return out
 

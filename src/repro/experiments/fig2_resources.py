@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..core import MachineConfig
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 #: The eight configurations of Figure 2, in presentation order.
 CONFIG_KEYS: Tuple[str, ...] = (
@@ -84,10 +84,11 @@ def run(
     """Reproduce Figure 2 over ``apps``."""
     losses: Dict[str, Dict[str, float]] = {}
     sie_ipc: Dict[str, float] = {}
+    models = [("sie", "sie", None, None)]
+    models += [(key, "die", config_for(key), None) for key in CONFIG_KEYS]
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        models += [(key, "die", config_for(key), None) for key in CONFIG_KEYS]
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         sie_ipc[app] = runs.ipc("sie")
         losses[app] = {key: runs.loss(key) for key in CONFIG_KEYS}
     return Fig2Result(apps=list(apps), losses=losses, sie_ipc=sie_ipc)

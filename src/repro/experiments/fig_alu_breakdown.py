@@ -13,7 +13,8 @@ from typing import List, Sequence
 
 from ..isa import FUClass
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, run_models
+from ..core import MachineConfig
+from .common import DEFAULT_APPS, DEFAULT_N, run_apps
 
 
 @dataclass
@@ -59,18 +60,20 @@ def run(
 ) -> BreakdownResult:
     """Measure duplicate-stream servicing under DIE and DIE-IRB."""
     entries = []
+    all_runs = run_apps(
+        apps,
+        [("die", "die", None, None), ("irb", "die-irb", None, None)],
+        n_insts=n_insts,
+        seed=seed,
+    )
+    # Both variants run the paper-baseline machine (config=None above).
+    alus = MachineConfig.baseline().int_alu
     for app in apps:
-        runs = run_models(
-            app,
-            [("die", "die", None, None), ("irb", "die-irb", None, None)],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         die = runs.results["die"]
         irb = runs.results["irb"]
         hits = irb.stats.irb_reuse_hits
         dup_total = n_insts  # one duplicate per architected instruction
-        alus = die.pipeline.config.int_alu
         entries.append(
             BreakdownRow(
                 app=app,

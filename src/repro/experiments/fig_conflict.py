@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..reuse import IRBConfig
 from ..simulation import format_table
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 #: The compared organisations: key -> (ways, replacement).
 VARIANTS: Dict[str, Tuple[int, str]] = {
@@ -69,13 +69,14 @@ def run(
     """Compare the IRB organisations of :data:`VARIANTS`."""
     reuse: Dict[str, Dict[str, float]] = {v: {} for v in VARIANTS}
     loss: Dict[str, Dict[str, float]] = {v: {} for v in VARIANTS}
+    models = [("sie", "sie", None, None)]
+    for key, (ways, replacement) in VARIANTS.items():
+        models.append(
+            (key, "die-irb", None, IRBConfig(ways=ways, replacement=replacement))
+        )
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        for key, (ways, replacement) in VARIANTS.items():
-            models.append(
-                (key, "die-irb", None, IRBConfig(ways=ways, replacement=replacement))
-            )
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         for key in VARIANTS:
             reuse[key][app] = runs.results[key].stats.irb_reuse_rate
             loss[key][app] = runs.loss(key)

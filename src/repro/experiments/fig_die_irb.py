@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..simulation import format_table, recovered_fraction
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 from .fig2_resources import config_for
 
 
@@ -81,18 +81,19 @@ def run(
 ) -> DieIrbResult:
     """Measure DIE-IRB against SIE, DIE and the DIE-2xALU bound."""
     entries = []
+    all_runs = run_apps(
+        apps,
+        [
+            ("sie", "sie", None, None),
+            ("die", "die", None, None),
+            ("die2a", "die", config_for("DIE-2xALU"), None),
+            ("irb", "die-irb", None, None),
+        ],
+        n_insts=n_insts,
+        seed=seed,
+    )
     for app in apps:
-        runs = run_models(
-            app,
-            [
-                ("sie", "sie", None, None),
-                ("die", "die", None, None),
-                ("die2a", "die", config_for("DIE-2xALU"), None),
-                ("irb", "die-irb", None, None),
-            ],
-            n_insts=n_insts,
-            seed=seed,
-        )
+        runs = all_runs[app]
         sie, die = runs.ipc("sie"), runs.ipc("die")
         die2a, irb = runs.ipc("die2a"), runs.ipc("irb")
         entries.append(

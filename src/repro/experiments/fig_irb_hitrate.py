@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..simulation import format_table, get_trace
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 
 @dataclass
@@ -64,9 +64,9 @@ def run(
 ) -> HitRateResult:
     """Measure IRB behaviour for every application under DIE-IRB."""
     entries = []
+    all_runs = run_apps(apps, [("irb", "die-irb", None, None)], n_insts=n_insts, seed=seed)
     for app in apps:
-        runs = run_models(app, [("irb", "die-irb", None, None)], n_insts=n_insts, seed=seed)
-        stats = runs.results["irb"].stats
+        stats = all_runs[app].results["irb"].stats
         trace = get_trace(app, n_insts, seed)
         lookups = max(1, stats.irb_lookups)
         entries.append(

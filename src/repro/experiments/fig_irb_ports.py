@@ -13,7 +13,7 @@ from typing import Dict, List, Sequence
 
 from ..reuse import IRBConfig
 from ..simulation import format_series
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 DEFAULT_PORTS = (1, 2, 4, 6, 8)
 
@@ -55,12 +55,13 @@ def run(
     """Sweep IRB read-port provisioning."""
     loss: Dict[int, Dict[str, float]] = {p: {} for p in ports}
     starved: Dict[int, Dict[str, float]] = {p: {} for p in ports}
+    models = [("sie", "sie", None, None)]
+    models += [
+        (f"p{p}", "die-irb", None, IRBConfig(read_ports=p)) for p in ports
+    ]
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        models += [
-            (f"p{p}", "die-irb", None, IRBConfig(read_ports=p)) for p in ports
-        ]
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         for p in ports:
             stats = runs.results[f"p{p}"].stats
             loss[p][app] = runs.loss(f"p{p}")

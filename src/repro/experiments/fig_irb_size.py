@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 
 from ..reuse import IRBConfig
 from ..simulation import format_series
-from .common import DEFAULT_APPS, DEFAULT_N, mean, run_models
+from .common import DEFAULT_APPS, DEFAULT_N, mean, run_apps
 
 DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096)
 
@@ -59,12 +59,13 @@ def run(
     """Sweep IRB entry counts for every application."""
     loss: Dict[int, Dict[str, float]] = {s: {} for s in sizes}
     reuse: Dict[int, Dict[str, float]] = {s: {} for s in sizes}
+    models = [("sie", "sie", None, None)]
+    models += [
+        (f"irb{s}", "die-irb", None, IRBConfig(entries=s)) for s in sizes
+    ]
+    all_runs = run_apps(apps, models, n_insts=n_insts, seed=seed)
     for app in apps:
-        models = [("sie", "sie", None, None)]
-        models += [
-            (f"irb{s}", "die-irb", None, IRBConfig(entries=s)) for s in sizes
-        ]
-        runs = run_models(app, models, n_insts=n_insts, seed=seed)
+        runs = all_runs[app]
         for s in sizes:
             loss[s][app] = runs.loss(f"irb{s}")
             reuse[s][app] = runs.results[f"irb{s}"].stats.irb_reuse_rate

@@ -8,7 +8,7 @@ from .metrics import (
 )
 from .reporting import format_series, format_table
 from .runner import MODELS, RunResult, get_trace, run_workload, simulate
-from .sweep import SweepResult, sweep
+from .sweep import SweepResult, sweep, sweep_jobs
 
 __all__ = [
     "MODELS",
@@ -24,4 +24,5 @@ __all__ = [
     "run_workload",
     "simulate",
     "sweep",
+    "sweep_jobs",
 ]

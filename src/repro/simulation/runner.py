@@ -40,12 +40,17 @@ _IRB_MODELS = ("die-irb", "sie-irb", "die-irb-fwd")
 
 @dataclass
 class RunResult:
-    """Everything one simulation run produced."""
+    """Everything one simulation run produced.
+
+    ``pipeline`` is ``None`` for results that crossed a process boundary
+    or were served from the campaign store — only the statistics travel;
+    live pipeline state (cache hierarchies, predictors) does not.
+    """
 
     model: str
     workload: str
     stats: SimStats
-    pipeline: OOOPipeline
+    pipeline: Optional[OOOPipeline] = None
 
     @property
     def ipc(self) -> float:
@@ -54,19 +59,22 @@ class RunResult:
 
 # Traces are immutable to the timing models, so they are safely shared
 # between runs; regenerating them dominates short sweeps otherwise.
+# LRU: hits move the key to the dict's (insertion-ordered) tail, so the
+# head — what gets evicted at capacity — is always the least recently
+# *used* trace, not merely the oldest-inserted one.
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
 _TRACE_CACHE_LIMIT = 24
 
 
 def get_trace(workload: str, n_insts: int, seed: int = 1) -> Trace:
-    """Load (and memoize) the dynamic trace for ``workload``."""
+    """Load (and memoize, LRU) the dynamic trace for ``workload``."""
     key = (workload, n_insts, seed)
-    trace = _TRACE_CACHE.get(key)
+    trace = _TRACE_CACHE.pop(key, None)
     if trace is None:
         trace = load_workload(workload, n_insts=n_insts, seed=seed)
         if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
             _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-        _TRACE_CACHE[key] = trace
+    _TRACE_CACHE[key] = trace
     return trace
 
 

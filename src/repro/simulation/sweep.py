@@ -1,10 +1,22 @@
-"""Parameter-sweep helper for the experiment layer."""
+"""Parameter-sweep helpers for the experiment layer.
+
+:func:`sweep` runs an arbitrary callable over a cartesian product,
+serially and in-process.  :func:`sweep_jobs` is the campaign-backed
+variant: the callable maps each parameter point to a declarative
+``repro.campaign.Job``, and the whole product is submitted as one
+campaign — parallel across worker processes and answered from the
+persistent result store where possible.
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..campaign import JobResult, ResultStore
+    from ..campaign.jobs import Job
 
 
 @dataclass
@@ -40,3 +52,38 @@ def sweep(
             progress(params)
         results.append(SweepResult(params=params, value=run(**params)))
     return results
+
+
+def sweep_jobs(
+    axes: Sequence[Tuple[str, Iterable[object]]],
+    job_for: Callable[..., "Job"],
+    jobs_n: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+) -> List[SweepResult]:
+    """Campaign-backed sweep: one simulation job per parameter point.
+
+    Args:
+        axes: ordered (name, values) pairs; the last axis varies fastest.
+        job_for: callable receiving one keyword per axis, returning the
+            ``Job`` that simulates that point.
+        jobs_n: worker processes (``None`` = ambient campaign context).
+        store: result store (``None`` = ambient campaign context).
+
+    Returns:
+        One :class:`SweepResult` per point in product order; each
+        ``value`` is the point's ``repro.campaign.JobResult``.
+    """
+    from ..campaign import run_campaign
+
+    names = [name for name, _ in axes]
+    value_lists = [list(values) for _, values in axes]
+    points: List[Dict[str, object]] = [
+        dict(zip(names, combo)) for combo in itertools.product(*value_lists)
+    ]
+    jobs = [job_for(**params) for params in points]
+    outcome = run_campaign(jobs, jobs_n=jobs_n, store=store)
+    results: List[JobResult] = outcome.results
+    return [
+        SweepResult(params=params, value=result)
+        for params, result in zip(points, results)
+    ]

@@ -69,6 +69,84 @@ class TestCompareModels:
         assert "warp" in capsys.readouterr().err
 
 
+class TestCompareJson:
+    def test_compare_json_rows(self, capsys):
+        import json
+
+        assert main(["compare", "gzip", "--n", "3000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "gzip"
+        assert [m["model"] for m in payload["models"]] == ["sie", "die", "die-irb"]
+        assert payload["models"][0]["loss_pct_vs_sie"] == 0.0
+        assert all(m["ipc"] > 0 for m in payload["models"])
+
+
+class TestExperimentSeed:
+    def test_seed_changes_the_result(self, capsys):
+        assert main(["experiment", "F6", "--apps", "gzip", "--n", "3000"]) == 0
+        seed1 = capsys.readouterr().out
+        assert main(
+            ["experiment", "F6", "--apps", "gzip", "--n", "3000", "--seed", "7"]
+        ) == 0
+        seed7 = capsys.readouterr().out
+        assert seed1 != seed7
+
+
+class TestCampaignCommand:
+    def test_campaign_matches_experiment_and_resumes(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(["experiment", "F5", "--apps", "gzip", "--n", "3000"]) == 0
+        serial = capsys.readouterr().out
+        args = [
+            "campaign", "F5", "--apps", "gzip", "--n", "3000",
+            "--jobs", "2", "--store-dir", store_dir, "--quiet",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert serial.strip() in first.out
+        assert "0 store hit(s)" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "0 simulation(s) run" in second.err
+
+    def test_campaign_multiple_ids(self, capsys, tmp_path):
+        args = [
+            "campaign", "F6", "F10", "--apps", "gzip", "--n", "3000",
+            "--store-dir", str(tmp_path / "store"), "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "F6" in out and "F10" in out
+
+    def test_campaign_no_store_runs_everything(self, capsys, tmp_path):
+        args = [
+            "campaign", "F6", "--apps", "gzip", "--n", "3000",
+            "--no-store", "--quiet",
+        ]
+        assert main(args) == 0
+        assert "0 store hit(s)" in capsys.readouterr().err
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 store hit(s)" in err and "0 simulation(s)" not in err
+
+    def test_campaign_clear_store(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        base = [
+            "campaign", "F6", "--apps", "gzip", "--n", "3000",
+            "--store-dir", store_dir, "--quiet",
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--clear-store"]) == 0
+        err = capsys.readouterr().err
+        assert "store cleared" in err and "0 store hit(s)" in err
+
+    def test_campaign_unknown_id_fails_cleanly(self, capsys):
+        assert main(["campaign", "F99"]) == 2
+        assert "F2" in capsys.readouterr().err
+
+
 class TestJsonOutput:
     def test_json_mode_emits_valid_json(self, capsys):
         import json

@@ -40,6 +40,23 @@ class TestRunner:
     def test_trace_cache_distinguishes_params(self):
         assert get_trace("gzip", 2000) is not get_trace("gzip", 2001)
 
+    def test_trace_cache_evicts_least_recently_used(self, monkeypatch):
+        from repro.simulation import runner
+
+        monkeypatch.setattr(runner, "_TRACE_CACHE", {})
+        monkeypatch.setattr(runner, "_TRACE_CACHE_LIMIT", 2)
+        hot = get_trace("gzip", 1000)
+        get_trace("gzip", 1001)
+        # Touch the older entry: it is now the most recently used...
+        assert get_trace("gzip", 1000) is hot
+        # ...so inserting a third trace must evict 1001, not 1000.
+        get_trace("gzip", 1002)
+        assert get_trace("gzip", 1000) is hot  # still cached
+        assert list(runner._TRACE_CACHE) == [
+            ("gzip", 1002, 1),
+            ("gzip", 1000, 1),
+        ]
+
     def test_run_workload_end_to_end(self):
         result = run_workload("gzip", model="sie", n_insts=2000)
         assert result.workload == "gzip"
