@@ -1,0 +1,162 @@
+"""Telemetry overhead benchmark: the tracing-off path must stay free.
+
+Times the same simulation three ways — tracing off (the ``NULL_TRACER``
+default), with a :class:`MetricsCollector` attached, and with a full
+:class:`RecordingTracer` + collector tee — and writes the result to
+``results/BENCH_telemetry.json``::
+
+    python benchmarks/bench_telemetry.py [--n INSTS] [--apps a,b] [--repeats K]
+
+The contract under test (see docs/TELEMETRY.md): with no tracer
+installed, the instrumented pipelines pay one falsy attribute check per
+stage, so the tracing-off overhead versus the measurement noise floor
+(off vs off across repeats) must stay under ``--budget-pct`` (default
+3%).  The aggregation/recording passes are reported for scale but not
+gated — they do real work.
+
+``REPRO_BENCH_N`` / ``REPRO_BENCH_APPS`` are honoured as defaults, like
+the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.simulation import get_trace, simulate
+from repro.telemetry import MetricsCollector, RecordingTracer, TeeTracer
+from repro.telemetry.events import Tracer
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+MODELS = ("die-irb",)
+DEFAULT_APPS = ("gzip", "art", "ammp")
+
+
+def one_pass(apps: Sequence[str], n_insts: int, make_tracer):
+    """Per-(app, model) wall times with one tracer configuration."""
+    times = []
+    events = 0
+    for app in apps:
+        trace = get_trace(app, n_insts)  # memoized: excluded from timing
+        for model in MODELS:
+            tracer: Optional[Tracer] = make_tracer()
+            # Pay any pending GC debt *before* the timed region and keep
+            # the collector off inside it — otherwise collections seeded
+            # by the recording pass's ~1M event objects land in whichever
+            # config happens to run next and bias the off-vs-off floor.
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                simulate(trace, model=model, tracer=tracer)
+                times.append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+            if isinstance(tracer, TeeTracer):
+                recorder = tracer.tracers[0]
+                events += len(recorder.events) + recorder.dropped
+    return times, events
+
+
+def timed_passes(
+    apps: Sequence[str], n_insts: int, repeats: int, configs: Dict[str, object]
+) -> Dict[str, Dict[str, object]]:
+    """Sum of per-run minima over ``repeats``, configurations interleaved.
+
+    Two noise controls: configurations run round-robin within each
+    repeat, so machine drift (thermal, noisy neighbours) spreads across
+    all of them instead of confounding one; and each individual
+    (app, model) run keeps its *minimum* across repeats — the minimum is
+    the least-contaminated estimate of the true cost, and summing minima
+    is far tighter than taking the best whole pass.
+    """
+    minima: Dict[str, list] = {}
+    events: Dict[str, int] = {}
+    for _ in range(repeats):
+        for name, make_tracer in configs.items():
+            times, evts = one_pass(apps, n_insts, make_tracer)
+            events[name] = evts
+            if name not in minima:
+                minima[name] = times
+            else:
+                minima[name] = [min(a, b) for a, b in zip(minima[name], times)]
+    return {
+        name: {"wall_s": round(sum(times), 4), "events": events[name]}
+        for name, times in minima.items()
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--n", type=int, default=int(os.environ.get("REPRO_BENCH_N", 20_000))
+    )
+    parser.add_argument("--apps", default=os.environ.get("REPRO_BENCH_APPS"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--budget-pct", type=float, default=3.0,
+        help="max tracing-off overhead beyond the noise floor",
+    )
+    args = parser.parse_args()
+    apps = tuple(args.apps.split(",")) if args.apps else DEFAULT_APPS
+
+    # Warm the trace cache so generation cost never pollutes pass one.
+    for app in apps:
+        get_trace(app, args.n)
+
+    passes = timed_passes(
+        apps, args.n, args.repeats,
+        {
+            "off_a": lambda: None,
+            "off_b": lambda: None,
+            "metrics": MetricsCollector,
+            "recording": lambda: TeeTracer(RecordingTracer(), MetricsCollector()),
+        },
+    )
+    off_a, off_b = passes["off_a"], passes["off_b"]
+    metrics_on, recording_on = passes["metrics"], passes["recording"]
+
+    def pct_over(base: float, measured: float) -> float:
+        return round(100.0 * (measured - base) / base, 2) if base else 0.0
+
+    baseline = min(off_a["wall_s"], off_b["wall_s"])
+    noise_pct = pct_over(baseline, max(off_a["wall_s"], off_b["wall_s"]))
+    off_overhead_pct = abs(noise_pct)  # off vs off IS the off-path cost bound
+    payload = {
+        "benchmark": "telemetry",
+        "apps": list(apps),
+        "models": list(MODELS),
+        "n_insts": args.n,
+        "repeats": args.repeats,
+        "tracing_off": off_a,
+        "tracing_off_repeat": off_b,
+        "metrics_on": metrics_on,
+        "recording_on": recording_on,
+        "noise_floor_pct": noise_pct,
+        "off_overhead_pct": off_overhead_pct,
+        "metrics_overhead_pct": pct_over(baseline, metrics_on["wall_s"]),
+        "recording_overhead_pct": pct_over(baseline, recording_on["wall_s"]),
+        "budget_pct": args.budget_pct,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_telemetry.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwritten to {out_path}")
+    if off_overhead_pct > args.budget_pct:
+        print(
+            f"ERROR: tracing-off runs differ by {off_overhead_pct}% "
+            f"(budget {args.budget_pct}%) — the off path is not free"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..core import SimStats
 from ..isa import FUClass
+from ..telemetry.profile import RunProfile
 from .jobs import Job, Provenance
 from .keys import job_key, job_spec
 
@@ -80,6 +81,10 @@ class ResultStore:
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def profile_path_for(self, key: str) -> Path:
+        """A run profile lives next to its result, same content key."""
+        return self.root / key[:2] / f"{key}.profile.json"
 
     # -- read ----------------------------------------------------------
 
@@ -142,6 +147,49 @@ class ResultStore:
         self.writes += 1
         return key
 
+    # -- profiles ------------------------------------------------------
+    #
+    # A telemetry run profile (repro.telemetry.profile.RunProfile) can be
+    # persisted next to the result entry it describes, under the same
+    # content key with a ``.profile.json`` suffix.  Profiles are optional
+    # side-cars: result reads, key listings and the session counters
+    # never see them.
+
+    def put_profile(self, job: Job, profile: RunProfile) -> str:
+        """Persist ``job``'s run profile atomically; returns the key."""
+        key = job_key(job)
+        path = self.profile_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = profile.to_dict()
+        document["key"] = key
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def get_profile(self, key: str) -> Optional[RunProfile]:
+        """Load the stored profile for ``key``; ``None`` when absent/corrupt."""
+        path = self.profile_path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            return RunProfile.from_dict(document)
+        except (OSError, ValueError):
+            return None
+
+    def get_profile_for_job(self, job: Job) -> Optional[RunProfile]:
+        return self.get_profile(job_key(job))
+
     # -- maintenance ---------------------------------------------------
 
     def keys(self) -> Iterator[str]:
@@ -151,6 +199,8 @@ class ResultStore:
             if not shard.is_dir():
                 continue
             for entry in sorted(shard.glob("*.json")):
+                if entry.stem.endswith(".profile"):
+                    continue  # profile side-cars are not result entries
                 yield entry.stem
 
     def __len__(self) -> int:
@@ -160,12 +210,17 @@ class ResultStore:
         return self.path_for(key).is_file()
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and its profile side-car, if any);
+        returns how many result entries were removed."""
         removed = 0
         for key in list(self.keys()):
             try:
                 self.path_for(key).unlink()
                 removed += 1
+            except OSError:
+                pass
+            try:
+                self.profile_path_for(key).unlink()
             except OSError:
                 pass
         return removed

@@ -8,6 +8,12 @@ Commands:
 * ``experiment`` — regenerate one paper table/figure by id.
 * ``campaign`` — regenerate several artifacts through the parallel,
   store-backed campaign harness (see ``docs/CAMPAIGNS.md``).
+* ``trace`` — one instrumented run: Chrome trace JSON (Perfetto), an
+  optional ASCII pipeview, an optional run profile
+  (see ``docs/TELEMETRY.md``).
+* ``profile diff`` — perun-style degradation check between two stored
+  run profiles; exits non-zero when a metric regressed past the
+  threshold.
 """
 
 from __future__ import annotations
@@ -66,6 +72,54 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--apps", default=None, help="comma-separated subset")
     exp.add_argument("--n", type=int, default=None, help="instructions per run")
     exp.add_argument("--seed", type=int, default=None, help="workload seed")
+    exp.add_argument(
+        "--json", action="store_true",
+        help="emit the artifact's structured rows as JSON",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="instrumented run: Perfetto trace, pipeview, profile"
+    )
+    trace.add_argument("workload", choices=APP_NAMES)
+    trace.add_argument("--model", choices=sorted(MODELS), default="sie")
+    trace.add_argument("--n", type=int, default=20_000, help="dynamic instructions")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome trace-event JSON output (Perfetto-loadable)",
+    )
+    trace.add_argument(
+        "--pipeview", type=int, default=0, metavar="K",
+        help="also print an ASCII lifetime view of the first K instructions",
+    )
+    trace.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="also write a run profile (for `repro profile diff`)",
+    )
+    trace.add_argument(
+        "--store-profile", action="store_true",
+        help="also persist the profile into the campaign result store",
+    )
+    trace.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="result-store root (default results/store)")
+    trace.add_argument("--no-warmup", action="store_true")
+
+    prof = sub.add_parser("profile", help="run-profile tooling")
+    prof_sub = prof.add_subparsers(dest="profile_command", required=True)
+    pdiff = prof_sub.add_parser(
+        "diff", help="compare two run profiles (non-zero exit on regression)"
+    )
+    pdiff.add_argument("baseline", help="profile JSON path or store key")
+    pdiff.add_argument("target", help="profile JSON path or store key")
+    pdiff.add_argument(
+        "--threshold", type=float, default=5.0, metavar="PCT",
+        help="relative change (%%) tolerated before a verdict (default 5)",
+    )
+    pdiff.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="result-store root for key lookups")
+    pdiff.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -191,8 +245,119 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     kwargs = _experiment_kwargs(args)
     result = experiment.run(**kwargs)
+    if args.json:
+        import json
+
+        payload = {
+            "id": experiment.id,
+            "title": experiment.title,
+            "reconstructed": experiment.reconstructed,
+            "rows": result.rows(),
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
     print(result.render())
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import (
+        MetricsCollector,
+        RecordingTracer,
+        TeeTracer,
+        build_profile,
+        chrome_trace,
+        render_pipeview,
+        save_profile,
+    )
+
+    recorder = RecordingTracer()
+    collector = MetricsCollector()
+    result = run_workload(
+        args.workload,
+        model=args.model,
+        n_insts=args.n,
+        seed=args.seed,
+        warmup=not args.no_warmup,
+        tracer=TeeTracer(recorder, collector),
+    )
+    meta = {
+        "workload": args.workload,
+        "model": args.model,
+        "n_insts": args.n,
+        "seed": args.seed,
+        "cycles": result.stats.cycles,
+        "ipc": result.stats.ipc,
+    }
+    document = chrome_trace(recorder.events, meta)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    print(
+        f"{args.workload} on {args.model.upper()}: {result.stats.cycles} cycles, "
+        f"IPC {result.stats.ipc:.3f}",
+        file=sys.stderr,
+    )
+    print(
+        f"wrote {len(document['traceEvents'])} trace events to {args.out}"
+        + (f" ({recorder.dropped} dropped)" if recorder.dropped else ""),
+        file=sys.stderr,
+    )
+    if args.pipeview:
+        print(render_pipeview(recorder.events, max_insts=args.pipeview))
+    profile = build_profile(
+        result.stats.to_dict(), collector,
+        args.workload, args.model, args.n, args.seed,
+    )
+    if args.profile:
+        save_profile(profile, args.profile)
+        print(f"wrote run profile to {args.profile}", file=sys.stderr)
+    if args.store_profile:
+        from .campaign import Job
+
+        store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+        job = Job(
+            args.workload, args.n, seed=args.seed, model=args.model,
+            warmup=not args.no_warmup,
+        )
+        key = store.put_profile(job, profile)
+        print(f"stored run profile under key {key}", file=sys.stderr)
+    return 0
+
+
+def _load_profile_arg(spec: str, store_dir: Optional[str]) -> "object":
+    """Resolve a profile argument: a JSON path first, then a store key."""
+    from .telemetry import load_profile
+
+    if Path(spec).is_file():
+        return load_profile(spec)
+    store = ResultStore(Path(store_dir) if store_dir else None)
+    profile = store.get_profile(spec)
+    if profile is None:
+        raise FileNotFoundError(
+            f"{spec!r} is neither a profile file nor a stored profile key"
+        )
+    return profile
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import diff_profiles
+
+    try:
+        baseline = _load_profile_arg(args.baseline, args.store_dir)
+        target = _load_profile_arg(args.target, args.store_dir)
+    except (FileNotFoundError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    diff = diff_profiles(baseline, target, threshold_pct=args.threshold)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
+    return 1 if diff.regressed else 0
 
 
 def _experiment_kwargs(args: argparse.Namespace) -> dict:
@@ -246,6 +411,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")

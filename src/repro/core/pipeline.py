@@ -40,6 +40,18 @@ from ..isa import (
     op_timing,
 )
 from ..memory import MemoryHierarchy
+from ..telemetry.events import (
+    NULL_TRACER,
+    STAGE_COMMIT,
+    STAGE_COMPLETE,
+    STAGE_DISPATCH,
+    STAGE_FETCH,
+    STAGE_ISSUE,
+    STAGE_SQUASH,
+    CycleEvent,
+    InstEvent,
+    Tracer,
+)
 from ..workloads import Trace
 from .config import MachineConfig
 from .dyninst import PRIMARY, DynInst
@@ -102,6 +114,11 @@ class OOOPipeline:
         # loosely because the base core must stay redundancy-agnostic).
         self.fault_injector: Optional[Any] = None
         self._retired_this_cycle: List[DynInst] = []
+
+        # Telemetry sink.  The default is the shared falsy null tracer,
+        # so every emit site below is guarded by one falsy check and the
+        # uninstrumented path never constructs an event.
+        self.tracer: Tracer = NULL_TRACER
 
     # ==================================================================
     # Hooks overridden by DIE / DIE-IRB
@@ -222,6 +239,9 @@ class OOOPipeline:
         self._dispatch(cycle)
         self._fetch(cycle)
         self._hook_tick()
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(CycleEvent(cycle, len(self.ruu), self.lsq_count))
         self.cycle = cycle + 1
 
     # ==================================================================
@@ -248,9 +268,18 @@ class OOOPipeline:
 
     def _complete(self, inst: DynInst, cycle: int) -> None:
         if self.fault_injector is not None:
-            self.fault_injector.on_complete(inst)
+            self.fault_injector.on_complete(inst, cycle)
         inst.complete = True
         inst.complete_cycle = cycle
+        tracer = self.tracer
+        if tracer:
+            trace = inst.trace
+            tracer.emit(
+                InstEvent(
+                    STAGE_COMPLETE, cycle, trace.seq, trace.pc, trace.opcode,
+                    inst.stream, trace.fu,
+                )
+            )
         for consumer in inst.consumers:
             if consumer.squashed:
                 continue
@@ -290,6 +319,15 @@ class OOOPipeline:
         if inst.trace.is_store and inst.stream == PRIMARY:
             self.hier.store(inst.trace.mem_addr, self.cycle)
         self._retired_this_cycle.append(inst)
+        tracer = self.tracer
+        if tracer:
+            trace = inst.trace
+            tracer.emit(
+                InstEvent(
+                    STAGE_COMMIT, self.cycle, trace.seq, trace.pc, trace.opcode,
+                    inst.stream, trace.fu,
+                )
+            )
 
     # ==================================================================
     # Issue
@@ -321,6 +359,14 @@ class OOOPipeline:
             inst.issued = True
             self._schedule(cycle + 1, "complete", inst)
             self.stats.issued += 1
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    InstEvent(
+                        STAGE_ISSUE, cycle, trace.seq, trace.pc, trace.opcode,
+                        inst.stream, fu,
+                    )
+                )
             return True
         timing = op_timing(trace.opcode)
         if inst.is_duplicate and trace.is_mem:
@@ -331,6 +377,14 @@ class OOOPipeline:
         inst.issued = True
         self.stats.issued += 1
         self.stats.count_fu_issue(fu, timing.init_interval)
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                InstEvent(
+                    STAGE_ISSUE, cycle, trace.seq, trace.pc, trace.opcode,
+                    inst.stream, fu,
+                )
+            )
         if trace.is_load and not inst.is_duplicate:
             # Address ready next cycle, then the access arbitrates for a
             # D-cache port.
@@ -394,6 +448,14 @@ class OOOPipeline:
         trace = inst.trace
         self.ruu.append(inst)
         self.stats.dispatched += 1
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                InstEvent(
+                    STAGE_DISPATCH, cycle, trace.seq, trace.pc, trace.opcode,
+                    inst.stream, trace.fu,
+                )
+            )
         if trace.is_mem and not inst.is_duplicate:
             self.lsq_count += 1
             inst.in_lsq = True
@@ -451,6 +513,14 @@ class OOOPipeline:
             self.stats.fetched += 1
             self.fetch_index += 1
             budget -= 1
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    InstEvent(
+                        STAGE_FETCH, cycle, inst.seq, inst.pc, inst.opcode,
+                        PRIMARY, inst.fu,
+                    )
+                )
             if mispredicted:
                 self.fetch_blocked_seq = inst.seq
                 return
@@ -518,8 +588,17 @@ class OOOPipeline:
         Everything at or younger than ``seq`` is squashed and refetched,
         exactly like a misspeculation recovery.
         """
+        tracer = self.tracer
         for inst in self.ruu:
             inst.squashed = True
+            if tracer:
+                trace = inst.trace
+                tracer.emit(
+                    InstEvent(
+                        STAGE_SQUASH, self.cycle, trace.seq, trace.pc,
+                        trace.opcode, inst.stream, trace.fu,
+                    )
+                )
         self.ruu.clear()
         for _, __, ___, inst in self._events:
             inst.squashed = True

@@ -16,6 +16,7 @@ from typing import List, Optional
 from ..core import MachineConfig, OOOPipeline
 from ..core.dyninst import DUPLICATE, PRIMARY, DynInst
 from ..isa import TraceInst
+from ..telemetry.events import CheckEvent
 from ..workloads import Trace
 from .checker import CommitChecker
 
@@ -74,7 +75,11 @@ class DIEPipeline(OOOPipeline):
             assert duplicate is not None  # every DIE entry is paired
             if not (primary.complete and duplicate.complete):
                 break
-            if not self.checker.check(primary, duplicate):
+            ok = self.checker.check(primary, duplicate)
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(CheckEvent(self.cycle, primary.seq, ok))
+            if not ok:
                 self._recover(primary)
                 break
             self.ruu.popleft()

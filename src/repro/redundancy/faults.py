@@ -29,6 +29,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Set
 
 from ..core import DUPLICATE, PRIMARY, DynInst, OOOPipeline
+from ..telemetry.events import (
+    FAULT_INJECTED,
+    FAULT_LATENT,
+    NULL_TRACER,
+    FaultEvent,
+    Tracer,
+)
 
 EXEC_PRIMARY = "exec_primary"
 EXEC_DUP = "exec_dup"
@@ -88,6 +95,8 @@ class FaultInjector:
     def __init__(self, faults: List[Fault]):
         self.faults = list(faults)
         self.log = InjectionLog()
+        #: Telemetry sink (shared with the host pipeline by the runner).
+        self.tracer: Tracer = NULL_TRACER
         self._by_seq: Dict[int, List[int]] = {}
         self._irb_pending: List[int] = []
         self._consumed: Set[int] = set()
@@ -101,7 +110,7 @@ class FaultInjector:
 
     # -- pipeline callbacks -------------------------------------------
 
-    def on_complete(self, inst: DynInst) -> None:
+    def on_complete(self, inst: DynInst, cycle: int = 0) -> None:
         """Perturb ``inst``'s output if an un-consumed fault targets it."""
         indices = self._by_seq.get(inst.seq)
         if not indices:
@@ -111,16 +120,16 @@ class FaultInjector:
                 continue
             kind = self.faults[index].kind
             if kind == EXEC_PRIMARY and inst.stream == PRIMARY:
-                self._corrupt(inst, index)
+                self._corrupt(inst, index, cycle)
                 self._consumed.add(index)
             elif kind in (EXEC_DUP, FORWARD_SINGLE) and inst.stream == DUPLICATE:
-                self._corrupt(inst, index)
+                self._corrupt(inst, index, cycle)
                 self._consumed.add(index)
             elif kind == FORWARD_BOTH:
                 # The shared forwarding bus delivered the same bad value to
                 # both streams: corrupt each copy identically, consume once
                 # both copies have been hit.
-                self._corrupt(inst, index)
+                self._corrupt(inst, index, cycle)
                 hit = self._hit_streams.setdefault(index, set())
                 hit.add(inst.stream)
                 if hit == {PRIMARY, DUPLICATE}:
@@ -141,18 +150,46 @@ class FaultInjector:
                 continue
             if irb.corrupt(fault.pc, corrupt_value):
                 self.log.injected += 1
+                outcome = FAULT_INJECTED
             else:
                 self.log.latent += 1
+                outcome = FAULT_LATENT
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    FaultEvent(pipeline.cycle, fault.seq, fault.kind, outcome)
+                )
             self._consumed.add(index)
         self._irb_pending = still_pending
 
     # -- internals ------------------------------------------------------
 
-    def _corrupt(self, inst: DynInst, index: int) -> None:
+    def _corrupt(self, inst: DynInst, index: int, cycle: int = 0) -> None:
         if inst.trace.is_mem:
-            inst.mem_addr = corrupt_value(inst.mem_addr)
+            old = inst.mem_addr
+            new = corrupt_value(old)
+            inst.mem_addr = new
         else:
-            inst.result = corrupt_value(inst.result)
+            old = inst.result
+            new = corrupt_value(old)
+            inst.result = new
+        # corrupt_value falls through unchanged for operand types it does
+        # not support; such a strike flipped nothing and must be counted
+        # latent, not injected (it can never be detected or recovered).
+        changed = new != old
         if index not in self._counted:
             self._counted.add(index)
-            self.log.injected += 1
+            if changed:
+                self.log.injected += 1
+            else:
+                self.log.latent += 1
+            tracer = self.tracer
+            if tracer:
+                tracer.emit(
+                    FaultEvent(
+                        cycle,
+                        inst.seq,
+                        self.faults[index].kind,
+                        FAULT_INJECTED if changed else FAULT_LATENT,
+                    )
+                )

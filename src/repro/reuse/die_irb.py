@@ -25,6 +25,14 @@ from ..core import MachineConfig, SimStats
 from ..core.dyninst import PRIMARY, DynInst
 from ..isa import TraceInst, is_reusable
 from ..redundancy import CommitChecker, DIEPipeline
+from ..telemetry.events import (
+    IRB_LOOKUP,
+    IRB_PC_HIT,
+    IRB_PORT_STARVED,
+    IRB_REUSE_HIT,
+    IRB_WRITE,
+    IRBEvent,
+)
 from ..workloads import Trace
 from .entry import IRBEntry
 from .irb import IRB, IRBConfig
@@ -82,14 +90,33 @@ class DIEIRBPipeline(DIEPipeline):
         groups are bursty and would overstate contention.
         """
         self.stats.irb_lookups += 1
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                IRBEvent(
+                    IRB_LOOKUP, self.cycle, duplicate.trace.pc,
+                    duplicate.trace.opcode,
+                )
+            )
         if not self.ports.try_read(self.cycle):
             # All read ports busy this cycle: the probe is abandoned and
             # the duplicate will execute on the FUs (counted, rare).
             self.stats.irb_port_starved += 1
+            if tracer:
+                tracer.emit(
+                    IRBEvent(IRB_PORT_STARVED, self.cycle, duplicate.trace.pc)
+                )
             return
         entry = self.irb.lookup(duplicate.trace.pc)
         if entry is not None:
             self.stats.irb_pc_hits += 1
+            if tracer:
+                tracer.emit(
+                    IRBEvent(
+                        IRB_PC_HIT, self.cycle, duplicate.trace.pc,
+                        duplicate.trace.opcode,
+                    )
+                )
             residual = max(
                 0, self.irb.config.lookup_latency - self.config.frontend_latency
             )
@@ -133,6 +160,11 @@ class DIEIRBPipeline(DIEPipeline):
             inst.result = entry.result
         self.irb.touch(entry)
         self.stats.irb_reuse_hits += 1
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(
+                IRBEvent(IRB_REUSE_HIT, cycle, inst.trace.pc, inst.trace.opcode)
+            )
         self._schedule(cycle + 1, "complete", inst)
 
     # ------------------------------------------------------------------
@@ -141,6 +173,7 @@ class DIEIRBPipeline(DIEPipeline):
 
     def _hook_post_commit(self, insts: List[DynInst]) -> None:
         name_based = self.irb.config.name_based
+        tracer = self.tracer
         for inst in insts:
             if inst.stream != PRIMARY:
                 continue
@@ -151,6 +184,10 @@ class DIEIRBPipeline(DIEPipeline):
                 else:
                     op1, op2 = trace.src1_val, trace.src2_val
                 self.irb.enqueue_write(trace.pc, op1, op2, self._reusable_result(inst))
+                if tracer:
+                    tracer.emit(
+                        IRBEvent(IRB_WRITE, self.cycle, trace.pc, trace.opcode)
+                    )
 
     def _name_operands(self, trace: TraceInst) -> Tuple[object, object]:
         versions = self.irb.reg_versions

@@ -16,6 +16,14 @@ from typing import List, Optional
 from ..core import MachineConfig, OOOPipeline, SimStats
 from ..core.dyninst import DynInst
 from ..isa import TraceInst, is_reusable
+from ..telemetry.events import (
+    IRB_LOOKUP,
+    IRB_PC_HIT,
+    IRB_PORT_STARVED,
+    IRB_REUSE_HIT,
+    IRB_WRITE,
+    IRBEvent,
+)
 from ..workloads import Trace
 from .irb import IRB, IRBConfig
 from .ports import PortArbiter
@@ -48,12 +56,21 @@ class SIEIRBPipeline(OOOPipeline):
         if not is_reusable(trace.opcode):
             return entries
         self.stats.irb_lookups += 1
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(IRBEvent(IRB_LOOKUP, self.cycle, trace.pc, trace.opcode))
         if not self.ports.try_read(self.cycle):
             self.stats.irb_port_starved += 1
+            if tracer:
+                tracer.emit(IRBEvent(IRB_PORT_STARVED, self.cycle, trace.pc))
             return entries
         entry = self.irb.lookup(trace.pc)
         if entry is not None:
             self.stats.irb_pc_hits += 1
+            if tracer:
+                tracer.emit(
+                    IRBEvent(IRB_PC_HIT, self.cycle, trace.pc, trace.opcode)
+                )
             residual = max(
                 0, self.irb.config.lookup_latency - self.config.frontend_latency
             )
@@ -77,6 +94,11 @@ class SIEIRBPipeline(OOOPipeline):
                 inst.reuse_hit = True
                 self.irb.touch(entry)
                 self.stats.irb_reuse_hits += 1
+                tracer = self.tracer
+                if tracer:
+                    tracer.emit(
+                        IRBEvent(IRB_REUSE_HIT, cycle, trace.pc, trace.opcode)
+                    )
         super()._hook_on_ready(inst, cycle)
 
     def _try_issue(self, inst: DynInst, cycle: int) -> bool:
@@ -95,6 +117,7 @@ class SIEIRBPipeline(OOOPipeline):
     # ------------------------------------------------------------------
 
     def _hook_post_commit(self, insts: List[DynInst]) -> None:
+        tracer = self.tracer
         for inst in insts:
             trace = inst.trace
             if is_reusable(trace.opcode) and not inst.reuse_hit:
@@ -102,6 +125,10 @@ class SIEIRBPipeline(OOOPipeline):
                 self.irb.enqueue_write(
                     trace.pc, trace.src1_val, trace.src2_val, result
                 )
+                if tracer:
+                    tracer.emit(
+                        IRBEvent(IRB_WRITE, self.cycle, trace.pc, trace.opcode)
+                    )
 
     def _hook_tick(self) -> None:
         self.irb.drain(self.ports, self.cycle)

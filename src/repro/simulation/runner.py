@@ -20,6 +20,7 @@ from ..reuse import (
     IRBConfig,
     SIEIRBPipeline,
 )
+from ..telemetry.events import Tracer
 from ..workloads import Trace, load_workload
 
 #: Model registry; keys are the names used throughout the experiments.
@@ -86,6 +87,7 @@ def simulate(
     fault_injector: Optional[FaultInjector] = None,
     max_cycles: Optional[int] = None,
     warmup: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Run one timing model over an existing trace.
 
@@ -98,6 +100,8 @@ def simulate(
         max_cycles: deadlock guard override.
         warmup: functionally warm caches/predictor before timing (the
             paper's SimPoint regions run with warm state).
+        tracer: telemetry sink (``repro.telemetry``); observation only —
+            cycle counts are identical with or without one attached.
     """
     try:
         cls = MODELS[model]
@@ -114,6 +118,10 @@ def simulate(
         pipeline = cls(trace, config)
     if fault_injector is not None:
         pipeline.fault_injector = fault_injector
+    if tracer is not None:
+        pipeline.tracer = tracer
+        if fault_injector is not None:
+            fault_injector.tracer = tracer
     if warmup:
         pipeline.warm_up()
     stats = pipeline.run(max_cycles=max_cycles)
@@ -129,6 +137,7 @@ def run_workload(
     irb_config: Optional[IRBConfig] = None,
     fault_injector: Optional[FaultInjector] = None,
     warmup: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Generate the workload (memoized) and simulate it in one call."""
     trace = get_trace(workload, n_insts, seed)
@@ -139,4 +148,5 @@ def run_workload(
         irb_config=irb_config,
         fault_injector=fault_injector,
         warmup=warmup,
+        tracer=tracer,
     )

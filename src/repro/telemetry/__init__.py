@@ -1,0 +1,68 @@
+"""Telemetry: per-cycle pipeline tracing, histogram metrics, run profiles.
+
+The subsystem observes, never steers: pipelines emit typed lifecycle
+events through a :class:`~.events.Tracer` whose default is the shared,
+falsy :data:`~.events.NULL_TRACER`, so the uninstrumented path pays one
+falsy attribute check per stage (``benchmarks/bench_telemetry.py``
+enforces the overhead contract).  See ``docs/TELEMETRY.md``.
+
+* :mod:`.events` — event taxonomy and the tracer protocol.
+* :mod:`.record` — raw-event recording and fan-out tracers.
+* :mod:`.metrics` — histogram / timeline aggregation.
+* :mod:`.export` — Chrome trace (Perfetto) JSON and ASCII pipeview.
+* :mod:`.profile` — persisted run profiles and degradation diffing.
+
+This package must stay importable from ``repro.core`` (it depends only
+on ``repro.isa`` and the standard library).
+"""
+
+from .events import (
+    CheckEvent,
+    CycleEvent,
+    Event,
+    FaultEvent,
+    InstEvent,
+    IRBEvent,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+from .export import chrome_trace, render_pipeview, validate_chrome_trace
+from .metrics import Histogram, MetricsCollector, Timeline, duplicate_service_split
+from .profile import (
+    ProfileDiff,
+    RunProfile,
+    build_profile,
+    diff_profiles,
+    load_profile,
+    save_profile,
+)
+from .record import RecordingTracer, TeeTracer, replay
+
+__all__ = [
+    "CheckEvent",
+    "CycleEvent",
+    "Event",
+    "FaultEvent",
+    "Histogram",
+    "IRBEvent",
+    "InstEvent",
+    "MetricsCollector",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProfileDiff",
+    "RecordingTracer",
+    "RunProfile",
+    "TeeTracer",
+    "Timeline",
+    "Tracer",
+    "build_profile",
+    "chrome_trace",
+    "diff_profiles",
+    "duplicate_service_split",
+    "load_profile",
+    "render_pipeview",
+    "replay",
+    "save_profile",
+    "validate_chrome_trace",
+]

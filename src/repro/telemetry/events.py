@@ -1,0 +1,162 @@
+"""Typed per-instruction lifecycle events and the :class:`Tracer` protocol.
+
+Every pipeline holds a ``tracer`` attribute whose default is the shared
+:data:`NULL_TRACER`.  The null tracer is *falsy*, so the hot loops in
+``core/pipeline.py`` pay exactly one falsy check per stage when tracing
+is off::
+
+    tracer = self.tracer
+    ...
+    if tracer:
+        tracer.emit(InstEvent(STAGE_ISSUE, cycle, ...))
+
+Event construction therefore happens only when a real (truthy) tracer is
+installed.  This module depends on nothing but ``repro.isa`` and the
+standard library, so the core can import it without cycles.
+
+Event taxonomy (see ``docs/TELEMETRY.md``):
+
+* :class:`InstEvent` — one instruction copy crossing a pipeline stage
+  (fetch / dispatch / issue / complete / commit / squash).
+* :class:`IRBEvent` — the reuse buffer's lookup→pc-hit→reuse funnel plus
+  commit-side writes (lookup / pc_hit / reuse_hit / port_starved /
+  write / write_drop).
+* :class:`CheckEvent` — one commit-stage pair-check verdict (DIE modes).
+* :class:`FaultEvent` — one planned transient fault resolving to an
+  outcome (injected / latent).
+* :class:`CycleEvent` — end-of-cycle occupancy sample (RUU / LSQ),
+  emitted once per simulated cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..isa import FUClass, Opcode
+
+# Instruction lifecycle stages.
+STAGE_FETCH = "fetch"
+STAGE_DISPATCH = "dispatch"
+STAGE_ISSUE = "issue"
+STAGE_COMPLETE = "complete"
+STAGE_COMMIT = "commit"
+STAGE_SQUASH = "squash"
+
+STAGES = (
+    STAGE_FETCH,
+    STAGE_DISPATCH,
+    STAGE_ISSUE,
+    STAGE_COMPLETE,
+    STAGE_COMMIT,
+    STAGE_SQUASH,
+)
+
+# IRB funnel outcomes.
+IRB_LOOKUP = "lookup"
+IRB_PC_HIT = "pc_hit"
+IRB_REUSE_HIT = "reuse_hit"
+IRB_PORT_STARVED = "port_starved"
+IRB_WRITE = "write"
+IRB_WRITE_DROP = "write_drop"
+
+IRB_KINDS = (
+    IRB_LOOKUP,
+    IRB_PC_HIT,
+    IRB_REUSE_HIT,
+    IRB_PORT_STARVED,
+    IRB_WRITE,
+    IRB_WRITE_DROP,
+)
+
+# Fault outcomes.
+FAULT_INJECTED = "injected"
+FAULT_LATENT = "latent"
+
+
+@dataclass(frozen=True)
+class InstEvent:
+    """One instruction copy crossing one pipeline stage.
+
+    ``stream`` is ``core.dyninst.PRIMARY`` (0) or ``DUPLICATE`` (1);
+    ``seq`` is the architected (trace) position, so a DIE pair shares one
+    ``seq`` and is distinguished by ``stream``.
+    """
+
+    kind: str
+    cycle: int
+    seq: int
+    pc: int
+    opcode: Opcode
+    stream: int
+    fu: FUClass
+
+
+@dataclass(frozen=True)
+class IRBEvent:
+    """One reuse-buffer event (probe funnel or commit-side write)."""
+
+    kind: str
+    cycle: int
+    pc: int
+    opcode: Optional[Opcode] = None
+
+
+@dataclass(frozen=True)
+class CheckEvent:
+    """One commit-stage pair comparison; ``ok`` False means a mismatch."""
+
+    cycle: int
+    seq: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault resolving; ``outcome`` is injected or latent."""
+
+    cycle: int
+    seq: int
+    fault_kind: str
+    outcome: str
+
+
+@dataclass(frozen=True)
+class CycleEvent:
+    """End-of-cycle structural occupancy sample."""
+
+    cycle: int
+    ruu: int
+    lsq: int
+
+
+Event = Union[InstEvent, IRBEvent, CheckEvent, FaultEvent, CycleEvent]
+
+
+class Tracer:
+    """Protocol for event consumers (duck-typed; subclassing is optional).
+
+    Implementations must be truthy (the default ``object`` truthiness) so
+    the pipelines' falsy guard forwards events to them; only the null
+    tracer may be falsy.
+    """
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The shared do-nothing tracer; falsy so hot loops skip event
+    construction entirely when tracing is off."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - never reached
+        pass
+
+
+#: The process-wide default tracer (falsy, stateless, shared).
+NULL_TRACER = NullTracer()

@@ -1,0 +1,309 @@
+"""Render a recorded run: Chrome trace-event JSON and ASCII pipeview.
+
+The Chrome trace format (the subset emitted here) loads directly into
+Perfetto / ``chrome://tracing``:
+
+* one *process* per stream (pid 0 = primary, pid 1 = duplicate), named
+  via ``M`` metadata events;
+* one *thread* per functional-unit class within each stream, so FU
+  pressure is visible as lane density;
+* one complete (``"ph": "X"``) slice per instruction copy, from its
+  fetch (or dispatch) cycle to its commit (or completion) cycle, with
+  the stage cycles in ``args``;
+* instant (``"ph": "i"``) markers for squashes, pair-check mismatches,
+  IRB reuse hits and fault activations.
+
+One simulated cycle maps to one microsecond of trace time (``ts`` is in
+microseconds by convention), so the Perfetto timeline reads directly in
+cycles.
+
+The pipeview renderer is the text-mode equivalent: one row per
+instruction, one column per cycle, SimpleScalar-``pipeview`` style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .events import (
+    FAULT_INJECTED,
+    IRB_REUSE_HIT,
+    STAGE_COMMIT,
+    STAGE_COMPLETE,
+    STAGE_DISPATCH,
+    STAGE_FETCH,
+    STAGE_ISSUE,
+    STAGE_SQUASH,
+    CheckEvent,
+    Event,
+    FaultEvent,
+    InstEvent,
+    IRBEvent,
+)
+
+_STREAM_NAMES = {0: "primary stream", 1: "duplicate stream"}
+
+#: pipeview stage marks, in lifecycle order.
+_STAGE_MARKS = (
+    (STAGE_FETCH, "F"),
+    (STAGE_DISPATCH, "D"),
+    (STAGE_ISSUE, "I"),
+    (STAGE_COMPLETE, "C"),
+    (STAGE_COMMIT, "R"),
+)
+
+
+class _Lifetime:
+    """Stage cycles collected for one (seq, stream) instruction copy."""
+
+    __slots__ = ("seq", "stream", "pc", "opcode", "fu", "stages", "squashed")
+
+    def __init__(self, event: InstEvent):
+        self.seq = event.seq
+        self.stream = event.stream
+        self.pc = event.pc
+        self.opcode = event.opcode
+        self.fu = event.fu
+        self.stages: Dict[str, int] = {}
+        self.squashed = False
+
+    def note(self, event: InstEvent) -> None:
+        if event.kind == STAGE_SQUASH:
+            self.squashed = True
+        # Keep the first occurrence: a squashed-and-refetched copy gets a
+        # fresh _Lifetime keyed by its re-fetch (see _collect_lifetimes).
+        self.stages.setdefault(event.kind, event.cycle)
+
+    @property
+    def start(self) -> int:
+        for kind, _ in _STAGE_MARKS:
+            if kind in self.stages:
+                return self.stages[kind]
+        return self.stages.get(STAGE_SQUASH, 0)
+
+    @property
+    def end(self) -> int:
+        for kind in (STAGE_COMMIT, STAGE_SQUASH, STAGE_COMPLETE, STAGE_ISSUE):
+            if kind in self.stages:
+                return self.stages[kind]
+        return self.start
+
+
+def _collect_lifetimes(events: Iterable[Event]) -> List[_Lifetime]:
+    """Fold InstEvents into per-copy lifetimes, in first-seen order.
+
+    A squashed copy that is later refetched appears as a new lifetime
+    (the old one ends at its squash), matching what the hardware did.
+    """
+    live: Dict[Tuple[int, int], _Lifetime] = {}
+    done: List[_Lifetime] = []
+    for event in events:
+        if not isinstance(event, InstEvent):
+            continue
+        key = (event.seq, event.stream)
+        lifetime = live.get(key)
+        if lifetime is None or (
+            event.kind == STAGE_FETCH and STAGE_FETCH in lifetime.stages
+        ):
+            lifetime = _Lifetime(event)
+            live[key] = lifetime
+            done.append(lifetime)
+        lifetime.note(event)
+    return done
+
+
+def chrome_trace(
+    events: Iterable[Event], meta: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Build a Chrome trace-event document from a recorded event stream."""
+    events = list(events)
+    trace_events: List[Dict[str, object]] = []
+    seen_tracks: Dict[Tuple[int, int], str] = {}
+
+    lifetimes = _collect_lifetimes(events)
+    for lt in lifetimes:
+        tid = int(lt.fu.value) if hasattr(lt.fu, "value") else 0
+        track = (lt.stream, tid)
+        if track not in seen_tracks:
+            seen_tracks[track] = lt.fu.name if hasattr(lt.fu, "name") else str(lt.fu)
+        start, end = lt.start, lt.end
+        args: Dict[str, object] = {
+            "seq": lt.seq,
+            "pc": lt.pc,
+            **{kind: cyc for kind, cyc in sorted(lt.stages.items())},
+        }
+        if lt.squashed:
+            args["squashed"] = True
+        trace_events.append(
+            {
+                "name": lt.opcode.name,
+                "cat": "inst",
+                "ph": "X",
+                "ts": start,
+                "dur": max(end - start, 1),
+                "pid": lt.stream,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if lt.squashed:
+            trace_events.append(
+                _instant("squash", lt.stages.get(STAGE_SQUASH, end), lt.stream, tid,
+                         {"seq": lt.seq})
+            )
+
+    for event in events:
+        if isinstance(event, CheckEvent) and not event.ok:
+            trace_events.append(
+                _instant("check-mismatch", event.cycle, 0, 0, {"seq": event.seq})
+            )
+        elif isinstance(event, FaultEvent) and event.outcome == FAULT_INJECTED:
+            trace_events.append(
+                _instant(f"fault:{event.fault_kind}", event.cycle, 0, 0,
+                         {"seq": event.seq})
+            )
+        elif isinstance(event, IRBEvent) and event.kind == IRB_REUSE_HIT:
+            trace_events.append(
+                _instant("irb-reuse", event.cycle, 1, 0, {"pc": event.pc})
+            )
+
+    # Track naming metadata: one process per stream, one thread per FU class.
+    for stream, name in _STREAM_NAMES.items():
+        if any(track[0] == stream for track in seen_tracks):
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": stream,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+    for (stream, tid), fu_name in sorted(seen_tracks.items()):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": stream,
+                "tid": tid,
+                "args": {"name": fu_name},
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def _instant(
+    name: str, ts: int, pid: int, tid: int, args: Dict[str, object]
+) -> Dict[str, object]:
+    return {
+        "name": name,
+        "cat": "marker",
+        "ph": "i",
+        "s": "t",
+        "ts": ts,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def validate_chrome_trace(doc: object) -> List[str]:
+    """Schema-check a Chrome trace document; returns a list of problems.
+
+    An empty list means the document is loadable by Perfetto (for the
+    event phases this exporter emits).  Used by the CI trace-smoke job.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for position, event in enumerate(events):
+        if len(errors) >= 20:
+            errors.append("... (truncated)")
+            break
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append(f"{where}: {field} must be an int")
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: ts must be numeric")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs a non-negative dur")
+        if ph == "i" and event.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: bad instant scope {event.get('s')!r}")
+    return errors
+
+
+def render_pipeview(
+    events: Iterable[Event],
+    max_insts: int = 48,
+    width: int = 72,
+    start_seq: int = 0,
+) -> str:
+    """SimpleScalar-``pipeview``-style ASCII lifetime chart.
+
+    One row per instruction copy (``P``/``D`` tags the stream), one
+    column per cycle; stage letters are F(etch) D(ispatch) I(ssue)
+    C(omplete) R(etire), ``=`` spans issue→complete (FU occupancy view),
+    ``x`` marks a squash.
+    """
+    lifetimes = [
+        lt for lt in _collect_lifetimes(events) if lt.seq >= start_seq
+    ][:max_insts]
+    if not lifetimes:
+        return "(no instruction events recorded)"
+    first = min(lt.start for lt in lifetimes)
+    last = max(lt.end for lt in lifetimes)
+    span = last - first + 1
+    clipped = span > width
+
+    lines = [
+        f"cycles {first}..{last}"
+        + (f" (clipped to {width} columns)" if clipped else ""),
+        "",
+    ]
+    for lt in lifetimes:
+        row = ["."] * min(span, width)
+
+        def put(cycle: int, mark: str) -> None:
+            col = cycle - first
+            if 0 <= col < len(row):
+                row[col] = mark
+
+        issue = lt.stages.get(STAGE_ISSUE)
+        complete = lt.stages.get(STAGE_COMPLETE)
+        if issue is not None and complete is not None:
+            for cycle in range(issue + 1, complete):
+                put(cycle, "=")
+        for kind, mark in _STAGE_MARKS:
+            if kind in lt.stages:
+                put(lt.stages[kind], mark)
+        if lt.squashed:
+            put(lt.stages.get(STAGE_SQUASH, lt.end), "x")
+        tag = "D" if lt.stream else "P"
+        lines.append(
+            f"{lt.seq:6d}{tag} {lt.opcode.name:<6s} |{''.join(row)}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Run profiles: persisted per-run performance data plus perun-style diffing.
+
+A :class:`RunProfile` bundles what one simulation produced — the flat
+``SimStats`` snapshot plus the :class:`~.metrics.MetricsCollector`
+aggregates — under a small metadata header, as a single JSON document.
+Profiles are what ``repro profile diff`` compares and what the campaign
+store persists next to a result entry (same content key, ``.profile``
+suffix), so any two stored runs can be checked for performance
+degradation after the fact, in the style of Perun's degradation
+detection: every headline metric gets a verdict (``ok`` /
+``degradation`` / ``optimization``) against a relative threshold, and
+the CLI exits non-zero when any degradation is found.
+
+This module deliberately depends only on the standard library and the
+sibling telemetry modules (never on ``repro.core``), so the core can
+import the telemetry package without cycles; statistics arrive as plain
+dicts (``SimStats.to_dict()`` output).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .metrics import MetricsCollector
+
+#: On-disk profile schema version (bump on layout changes).
+PROFILE_FORMAT = 1
+
+#: Document type tag (distinguishes profiles from store result entries).
+PROFILE_KIND = "repro-run-profile"
+
+VERDICT_OK = "ok"
+VERDICT_DEGRADATION = "degradation"
+VERDICT_OPTIMIZATION = "optimization"
+VERDICT_INFO = "info"
+
+
+@dataclass
+class RunProfile:
+    """One run's persisted performance profile."""
+
+    workload: str
+    model: str
+    n_insts: int
+    seed: int
+    stats: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.model}/n{self.n_insts}/s{self.seed}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": PROFILE_FORMAT,
+            "kind": PROFILE_KIND,
+            "meta": {
+                "workload": self.workload,
+                "model": self.model,
+                "n_insts": self.n_insts,
+                "seed": self.seed,
+            },
+            "stats": self.stats,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "RunProfile":
+        if document.get("kind") != PROFILE_KIND:
+            raise ValueError("not a run-profile document")
+        if document.get("format") != PROFILE_FORMAT:
+            raise ValueError(
+                f"unsupported profile format {document.get('format')!r} "
+                f"(this code reads format {PROFILE_FORMAT})"
+            )
+        meta = document.get("meta")
+        if not isinstance(meta, dict):
+            raise ValueError("profile missing meta block")
+        return cls(
+            workload=str(meta.get("workload", "?")),
+            model=str(meta.get("model", "?")),
+            n_insts=int(meta.get("n_insts", 0)),
+            seed=int(meta.get("seed", 0)),
+            stats=dict(document.get("stats") or {}),
+            metrics=dict(document.get("metrics") or {}),
+        )
+
+
+def build_profile(
+    stats: Dict[str, object],
+    collector: Optional[MetricsCollector],
+    workload: str,
+    model: str,
+    n_insts: int,
+    seed: int,
+) -> RunProfile:
+    """Assemble a profile from a stats dict and an (optional) collector."""
+    return RunProfile(
+        workload=workload,
+        model=model,
+        n_insts=n_insts,
+        seed=seed,
+        stats=dict(stats),
+        metrics=collector.snapshot() if collector is not None else {},
+    )
+
+
+def save_profile(profile: RunProfile, path: Union[str, Path]) -> None:
+    """Write one profile atomically (temp file + rename)."""
+    path = Path(path)
+    if path.parent and not path.parent.is_dir():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent or "."), prefix=".tmp-profile-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(profile.to_dict(), handle, sort_keys=True, indent=1)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_profile(path: Union[str, Path]) -> RunProfile:
+    with open(path, "r", encoding="utf-8") as handle:
+        return RunProfile.from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DiffEntry:
+    """One compared metric with its verdict."""
+
+    metric: str
+    baseline: float
+    target: float
+    change_pct: Optional[float]  # None when the baseline is zero
+    verdict: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "target": self.target,
+            "change_pct": self.change_pct,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class ProfileDiff:
+    """Comparison of two run profiles."""
+
+    baseline: RunProfile
+    target: RunProfile
+    threshold_pct: float
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def degradations(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.verdict == VERDICT_DEGRADATION]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.degradations)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline.label,
+            "target": self.target.label,
+            "threshold_pct": self.threshold_pct,
+            "regressed": self.regressed,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"profile diff: {self.baseline.label} -> {self.target.label} "
+            f"(threshold {self.threshold_pct:g}%)",
+            f"  {'metric':<28s} {'baseline':>12s} {'target':>12s} "
+            f"{'change':>9s}  verdict",
+        ]
+        for entry in self.entries:
+            change = (
+                f"{entry.change_pct:+8.1f}%" if entry.change_pct is not None else "     new "
+            )
+            lines.append(
+                f"  {entry.metric:<28s} {entry.baseline:>12.4f} "
+                f"{entry.target:>12.4f} {change}  {entry.verdict}"
+            )
+        degr, opti = len(self.degradations), sum(
+            1 for e in self.entries if e.verdict == VERDICT_OPTIMIZATION
+        )
+        lines.append(f"  => {degr} degradation(s), {opti} optimization(s)")
+        return "\n".join(lines)
+
+
+#: Compared metrics: (name, extractor key path, direction).
+#: direction +1 = higher is better, -1 = lower is better, 0 = report only.
+_HIGHER = 1
+_LOWER = -1
+_REPORT = 0
+
+
+def _stat(profile: RunProfile, name: str) -> Optional[float]:
+    # RunProfile.stats is a plain serialized dict, not a *Stats dataclass.
+    value = profile.stats.get(name)  # simlint: disable=SL002
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _metric_mean(profile: RunProfile, name: str) -> Optional[float]:
+    block = profile.metrics.get(name)
+    if isinstance(block, dict) and isinstance(block.get("mean"), (int, float)):
+        if block.get("count", block.get("samples", 1)):
+            return float(block["mean"])
+    return None
+
+
+def _per_kilocycle(profile: RunProfile, name: str) -> Optional[float]:
+    value = _stat(profile, name)
+    cycles = _stat(profile, "cycles")
+    if value is None or not cycles:
+        return None
+    return 1000.0 * value / cycles
+
+
+def _extract_metrics(profile: RunProfile) -> Dict[str, tuple]:
+    """metric name -> (value, direction); None-valued metrics are skipped."""
+    out: Dict[str, tuple] = {}
+
+    def put(name: str, value: Optional[float], direction: int) -> None:
+        if value is not None:
+            out[name] = (value, direction)
+
+    put("ipc", _stat(profile, "ipc"), _HIGHER)
+    put("cycles", _stat(profile, "cycles"), _LOWER)
+    put("mispredict_rate", _stat(profile, "mispredict_rate"), _LOWER)
+    reuse = _stat(profile, "irb_reuse_rate")
+    if _stat(profile, "irb_lookups"):
+        put("irb_reuse_rate", reuse, _HIGHER)
+    for stall in (
+        "fetch_stall_mispredict",
+        "fetch_stall_icache",
+        "dispatch_stall_ruu",
+        "dispatch_stall_lsq",
+    ):
+        put(f"{stall}_per_kcycle", _per_kilocycle(profile, stall), _LOWER)
+    put("check_latency_mean", _metric_mean(profile, "check_latency"), _LOWER)
+    put("ruu_occupancy_mean", _metric_mean(profile, "ruu_occupancy"), _REPORT)
+    put("lsq_occupancy_mean", _metric_mean(profile, "lsq_occupancy"), _REPORT)
+    return out
+
+
+def diff_profiles(
+    baseline: RunProfile, target: RunProfile, threshold_pct: float = 5.0
+) -> ProfileDiff:
+    """Compare two profiles metric by metric, perun-style.
+
+    A metric common to both profiles gets a verdict: ``degradation``
+    when the target is worse than the baseline by more than
+    ``threshold_pct`` percent (in the metric's bad direction),
+    ``optimization`` for the symmetric improvement, ``ok`` otherwise.
+    Report-only metrics (occupancy means) always get ``info``.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be >= 0")
+    diff = ProfileDiff(baseline=baseline, target=target, threshold_pct=threshold_pct)
+    base_metrics = _extract_metrics(baseline)
+    target_metrics = _extract_metrics(target)
+    for name, (base_value, direction) in base_metrics.items():
+        if name not in target_metrics:
+            continue
+        target_value = target_metrics[name][0]
+        if base_value:
+            change_pct: Optional[float] = (
+                100.0 * (target_value - base_value) / abs(base_value)
+            )
+        else:
+            change_pct = None if target_value else 0.0
+        if direction == _REPORT:
+            verdict = VERDICT_INFO
+        elif change_pct is None:
+            # Metric appeared out of nowhere: bad if lower-is-better.
+            verdict = (
+                VERDICT_DEGRADATION if direction == _LOWER else VERDICT_OPTIMIZATION
+            )
+        elif direction * change_pct < -threshold_pct:
+            verdict = VERDICT_DEGRADATION
+        elif direction * change_pct > threshold_pct:
+            verdict = VERDICT_OPTIMIZATION
+        else:
+            verdict = VERDICT_OK
+        diff.entries.append(
+            DiffEntry(
+                metric=name,
+                baseline=base_value,
+                target=target_value,
+                change_pct=change_pct,
+                verdict=verdict,
+            )
+        )
+    return diff

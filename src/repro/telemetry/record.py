@@ -1,0 +1,51 @@
+"""Event recording and fan-out tracers.
+
+:class:`RecordingTracer` keeps the raw event stream for the exporters
+(Chrome trace / pipeview); :class:`TeeTracer` fans one emission out to
+several consumers so a single run can both record and aggregate; and
+:func:`replay` re-feeds a recorded stream into any tracer (e.g. to build
+metrics from a recording after the fact).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .events import Event, Tracer
+
+
+class RecordingTracer(Tracer):
+    """Stores every emitted event in order.
+
+    ``limit`` bounds memory on very long runs: once reached, further
+    events are dropped and counted in :attr:`dropped` (the run itself is
+    unaffected — telemetry never throttles the model).
+    """
+
+    def __init__(self, limit: int = 2_000_000):
+        self.events: List[Event] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def emit(self, event: Event) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+
+class TeeTracer(Tracer):
+    """Forwards each event to every downstream tracer, in order."""
+
+    def __init__(self, *tracers: Tracer):
+        self.tracers: Sequence[Tracer] = tuple(t for t in tracers if t)
+
+    def emit(self, event: Event) -> None:
+        for tracer in self.tracers:
+            tracer.emit(event)
+
+
+def replay(events: Iterable[Event], tracer: Tracer) -> None:
+    """Feed a recorded event stream into ``tracer`` (offline aggregation)."""
+    for event in events:
+        tracer.emit(event)

@@ -1,0 +1,17 @@
+"""SL006 fixture: console output from inside simulator code."""
+
+import logging
+
+from logging import getLogger
+
+log = getLogger(__name__)
+
+
+def retire(count: int) -> None:
+    print(f"retired {count} instructions")
+    logging.info("retired %d", count)
+
+
+def debug_dump(stats: dict) -> None:
+    for name, value in stats.items():
+        print(name, value)

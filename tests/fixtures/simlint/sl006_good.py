@@ -1,0 +1,17 @@
+"""SL006 fixture: simulator code returns text; callers decide where it goes.
+
+A docstring mentioning print(result) is fine — the rule reads the AST,
+not the comments.
+"""
+
+from typing import Dict, List
+
+
+def render(stats: Dict[str, int]) -> str:
+    lines: List[str] = [f"{name}: {value}" for name, value in stats.items()]
+    return "\n".join(lines)
+
+
+def static_footprint(blueprint: Dict[str, int]) -> int:
+    # Identifiers merely *containing* "print" must not trip the rule.
+    return sum(blueprint.values())

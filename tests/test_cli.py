@@ -53,6 +53,29 @@ class TestExperiment:
         assert main(["experiment", "F99"]) == 2
         assert "F2" in capsys.readouterr().err
 
+    def test_experiment_json_rows(self, capsys):
+        import json
+
+        code = main(["experiment", "F6", "--apps", "gzip", "--n", "3000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == "F6"
+        assert payload["title"]
+        assert isinstance(payload["reconstructed"], bool)
+        assert payload["rows"] and any("gzip" in row for row in payload["rows"])
+
+    def test_experiment_json_matches_rendered_run(self, capsys):
+        import json
+
+        base = ["experiment", "F6", "--apps", "gzip", "--n", "3000"]
+        assert main(base) == 0
+        rendered = capsys.readouterr().out
+        assert main(base + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The same run serialized two ways: every row label is in the table.
+        for row in payload["rows"]:
+            assert str(row[0]) in rendered
+
 
 class TestCompareModels:
     def test_custom_model_list(self, capsys):

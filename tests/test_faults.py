@@ -103,3 +103,59 @@ class TestSphere:
     def test_unknown_component_raises(self):
         with pytest.raises(KeyError):
             DIE_SPHERE.protects("flux_capacitor")
+
+
+class TestLatentStrikes:
+    """A strike whose value perturbation is an identity no-op flipped no
+    bit: it must be accounted latent (undetectable by construction), not
+    injected — the regression this class pins down."""
+
+    @staticmethod
+    def _opaque_inst(seq=0):
+        from repro.core import DynInst
+        from repro.isa import FUClass, Opcode, TraceInst
+
+        trace = TraceInst(
+            seq=seq, pc=0, opcode=Opcode.ADD, fu=FUClass.INT_ALU,
+            dst=1, src1=None, src2=None, src1_val=None, src2_val=None,
+            result="opaque", mem_addr=None, taken=False, next_pc=4,
+        )
+        return DynInst(trace)
+
+    def test_identity_noop_counts_latent_not_injected(self):
+        inst = self._opaque_inst()
+        assert corrupt_value(inst.result) == inst.result  # unsupported type
+        injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=0)])
+        injector.on_complete(inst, cycle=5)
+        assert inst.result == "opaque"
+        assert injector.log.injected == 0
+        assert injector.log.latent == 1
+
+    def test_forward_both_noop_counted_once(self):
+        injector = FaultInjector([Fault(kind=FORWARD_BOTH, seq=0)])
+        primary = self._opaque_inst()
+        duplicate = self._opaque_inst()
+        duplicate.stream = 1
+        injector.on_complete(primary, cycle=3)
+        injector.on_complete(duplicate, cycle=4)
+        assert injector.log.latent == 1
+        assert injector.log.injected == 0
+
+    def test_flippable_value_still_counts_injected(self):
+        injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=12)])
+        result = simulate(chain_trace(), "die", fault_injector=injector)
+        assert injector.log.injected == 1
+        assert injector.log.latent == 0
+        assert result.stats.check_mismatches == 1
+
+    def test_latent_outcome_reaches_telemetry(self):
+        from repro.telemetry import FaultEvent, RecordingTracer
+
+        injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=0)])
+        tracer = RecordingTracer()
+        injector.tracer = tracer
+        injector.on_complete(self._opaque_inst(), cycle=5)
+        events = [e for e in tracer.events if isinstance(e, FaultEvent)]
+        assert len(events) == 1
+        assert events[0].outcome == "latent"
+        assert events[0].cycle == 5

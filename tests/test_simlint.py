@@ -21,7 +21,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "simlint")
 SRC = os.path.join(REPO_ROOT, "src", "repro")
 
-RULE_IDS = ("SL001", "SL002", "SL003", "SL004", "SL005")
+RULE_IDS = ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006")
 
 
 def fixture(name: str) -> str:
@@ -33,7 +33,7 @@ def rule_hits(path: str, rule_id: str):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_rules_registered(self):
         assert [rule.id for rule in all_rules()] == list(RULE_IDS)
 
     def test_every_rule_has_summary(self):
@@ -100,6 +100,21 @@ class TestRuleDetails:
         assert "pair-output comparison" in messages
         assert ".pair.result" in messages
         assert ".pair.output()" in messages
+
+    def test_sl006_print_and_logging_both_flagged(self):
+        messages = "\n".join(
+            v.message for v in rule_hits(fixture("sl006_bad.py"), "SL006")
+        )
+        assert "bare print()" in messages
+        assert "logging module is banned" in messages
+        # Two prints + two logging imports.
+        assert len(rule_hits(fixture("sl006_bad.py"), "SL006")) == 4
+
+    def test_sl006_allowlists_the_cli_and_progress_reporter(self):
+        cli = os.path.join(SRC, "cli.py")
+        progress = os.path.join(SRC, "campaign", "progress.py")
+        assert rule_hits(cli, "SL006") == []
+        assert rule_hits(progress, "SL006") == []
 
     def test_sl005_all_three_kinds(self):
         messages = "\n".join(

@@ -6,4 +6,5 @@ from . import (  # noqa: F401
     sl003_config,
     sl004_sphere,
     sl005_frozen,
+    sl006_output,
 )

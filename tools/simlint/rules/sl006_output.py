@@ -1,0 +1,83 @@
+"""SL006 — no ad-hoc console output inside the simulator packages.
+
+The simulator is a library: experiments, campaign workers and the test
+suite all import it, and several of those contexts multiplex many runs
+over one terminal (or none at all).  A stray ``print`` deep in a timing
+model corrupts the campaign progress display, breaks ``--json``
+consumers, and — worst — can mask a real result difference behind noise.
+The ``logging`` module is banned for the same reason plus one more: its
+global, mutable configuration is exactly the kind of cross-run shared
+state the determinism rules exist to keep out.
+
+All user-facing output goes through the sanctioned surfaces:
+
+* ``repro/cli.py`` — the command handlers own stdout/stderr;
+* ``repro/campaign/progress.py`` — the progress reporter owns the
+  campaign's stderr line discipline.
+
+Those two files are allowlisted by path; everything else in the analyzed
+tree is checked.  Calls like ``file.write`` or returning a rendered
+string are fine — the rule targets the *console*, not I/O in general.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..framework import Rule, RuleViolation, register
+from ..project import ModuleInfo, ProjectIndex
+
+#: Path suffixes (normalized components) that own console output.
+_ALLOWED_SUFFIXES: Tuple[Tuple[str, ...], ...] = (
+    ("repro", "cli.py"),
+    ("repro", "campaign", "progress.py"),
+)
+
+
+def _is_allowlisted(module: ModuleInfo) -> bool:
+    parts = module.parts
+    return any(
+        parts[-len(suffix):] == suffix for suffix in _ALLOWED_SUFFIXES
+    )
+
+
+@register
+class ConsoleOutputRule(Rule):
+    id = "SL006"
+    summary = "no print()/logging outside cli.py and campaign/progress.py"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        if _is_allowlisted(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    yield self.violation(
+                        module,
+                        node,
+                        "bare print() in simulator code; return the text "
+                        "or route it through the CLI / progress reporter",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "logging":
+                        yield self.violation(
+                            module,
+                            node,
+                            "the logging module is banned in simulator "
+                            "code (global mutable config; console noise)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module.split(".")[0] == "logging"
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        "the logging module is banned in simulator "
+                        "code (global mutable config; console noise)",
+                    )
