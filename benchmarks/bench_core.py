@@ -1,0 +1,279 @@
+"""Core-speed benchmark: quiescent-cycle skipping + decoded traces.
+
+Times the F2 baseline cell set (the twelve SPEC-like apps on
+``sie`` / ``die`` / ``die-irb``) up to three ways and writes
+``results/BENCH_core.json``::
+
+    python benchmarks/bench_core.py [--n INSTS] [--apps a,b] [--repeats K]
+        [--baseline-src DIR] [--min-seed-speedup X] [--check [--tolerance PCT]]
+
+* ``fast`` — the shipping configuration: quiescent-cycle fast-forward
+  plus the decoded-trace cache.
+* ``no_skip`` — ``REPRO_NO_SKIP=1``, the bit-exactness escape hatch.
+  The fast/no_skip ratio (``skip_speedup``) is measured inside one
+  process on one tree, so it is the most machine-portable number here.
+* ``seed`` — optional: the same cells against an older checkout
+  (``--baseline-src path/to/seed/src``), run in a subprocess with
+  ``PYTHONPATH`` pointing at that tree.  ``speedup_vs_seed`` is the
+  end-to-end claim (decoded traces included, which ``no_skip`` keeps).
+
+Noise controls follow ``bench_telemetry.py``: configurations interleave
+within each repeat, each cell keeps its minimum across repeats, and the
+timed region runs with the GC collected-then-disabled.
+
+``--check`` re-reads the committed ``results/BENCH_core.json`` first and
+exits non-zero if a measured speedup regressed more than ``--tolerance``
+percent below the committed value (the CI perf-smoke gate); it does not
+overwrite the committed file.  ``REPRO_BENCH_N`` / ``REPRO_BENCH_APPS``
+are honoured as defaults, like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.simulation import get_trace, simulate
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+RESULT_NAME = "BENCH_core.json"
+
+MODELS = ("sie", "die", "die-irb")
+DEFAULT_APPS = (
+    "gzip", "vpr", "gcc", "mcf", "parser", "bzip2",
+    "twolf", "vortex", "wupwise", "art", "equake", "ammp",
+)
+
+
+@contextmanager
+def _skip_disabled(disabled: bool) -> Iterator[None]:
+    """Force ``REPRO_NO_SKIP`` on or off for the enclosed runs."""
+    previous = os.environ.get("REPRO_NO_SKIP")
+    if disabled:
+        os.environ["REPRO_NO_SKIP"] = "1"
+    else:
+        os.environ.pop("REPRO_NO_SKIP", None)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NO_SKIP", None)
+        else:
+            os.environ["REPRO_NO_SKIP"] = previous
+
+
+def cell_names(apps: Sequence[str]) -> List[str]:
+    return [f"{app}/{model}" for app in apps for model in MODELS]
+
+
+def one_pass(
+    apps: Sequence[str], n_insts: int, no_skip: bool
+) -> Tuple[List[float], Dict[str, Dict[str, int]]]:
+    """Wall time per (app, model) cell, plus fast-forward accounting."""
+    times: List[float] = []
+    ff: Dict[str, Dict[str, int]] = {}
+    with _skip_disabled(no_skip):
+        for app in apps:
+            trace = get_trace(app, n_insts)  # memoized: excluded from timing
+            for model in MODELS:
+                gc.collect()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    result = simulate(trace, model=model)
+                    times.append(time.perf_counter() - start)
+                finally:
+                    gc.enable()
+                pipeline = result.pipeline
+                if pipeline is not None and not no_skip:
+                    ff[f"{app}/{model}"] = {
+                        "ff_cycles": getattr(pipeline, "ff_cycles", 0),
+                        "cycles": result.stats.cycles,
+                    }
+    return times, ff
+
+
+def seed_pass(
+    baseline_src: str, apps: Sequence[str], n_insts: int
+) -> List[float]:
+    """One pass of the same cells against an older tree, in a subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(baseline_src).resolve())
+    env.pop("REPRO_NO_SKIP", None)
+    proc = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__), "--worker",
+            "--n", str(n_insts), "--apps", ",".join(apps),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"baseline pass failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)["times"]
+
+
+def _merge_minima(
+    minima: Optional[List[float]], times: List[float]
+) -> List[float]:
+    if minima is None:
+        return times
+    return [min(a, b) for a, b in zip(minima, times)]
+
+
+def _cells_payload(
+    apps: Sequence[str], times: List[float]
+) -> Dict[str, object]:
+    return {
+        "wall_s": round(sum(times), 4),
+        "cells": {
+            name: round(wall, 5)
+            for name, wall in zip(cell_names(apps), times)
+        },
+    }
+
+
+def check_payload(
+    payload: Dict[str, object], committed_path: Path, tolerance_pct: float
+) -> List[str]:
+    """Compare measured speedups against the committed results file."""
+    if not committed_path.is_file():
+        return [f"no committed results at {committed_path}"]
+    committed = json.loads(committed_path.read_text())
+    failures = []
+    for key in ("skip_speedup", "speedup_vs_seed"):
+        reference = committed.get(key)
+        measured = payload.get(key)
+        if not reference or not isinstance(measured, (int, float)):
+            continue
+        floor = reference * (1.0 - tolerance_pct / 100.0)
+        if measured < floor:
+            failures.append(
+                f"{key} regressed: measured {measured:.3f} < committed "
+                f"{reference:.3f} - {tolerance_pct}% = {floor:.3f}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--n", type=int, default=int(os.environ.get("REPRO_BENCH_N", 8_000))
+    )
+    parser.add_argument("--apps", default=os.environ.get("REPRO_BENCH_APPS"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--baseline-src", default=None, metavar="DIR",
+        help="src/ directory of an older checkout to race against",
+    )
+    parser.add_argument(
+        "--min-seed-speedup", type=float, default=None, metavar="X",
+        help="fail unless speedup_vs_seed >= X (requires --baseline-src)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate against the committed results instead of overwriting them",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=10.0, metavar="PCT",
+        help="allowed regression below committed speedups with --check",
+    )
+    parser.add_argument(
+        "--worker", action="store_true", help=argparse.SUPPRESS
+    )
+    args = parser.parse_args()
+    apps = tuple(args.apps.split(",")) if args.apps else DEFAULT_APPS
+
+    # Warm the trace cache so generation cost never pollutes pass one.
+    for app in apps:
+        get_trace(app, args.n)
+
+    if args.worker:
+        times, _ = one_pass(apps, args.n, no_skip=False)
+        print(json.dumps({"times": times}))
+        return 0
+
+    fast_min: Optional[List[float]] = None
+    slow_min: Optional[List[float]] = None
+    seed_min: Optional[List[float]] = None
+    ff: Dict[str, Dict[str, int]] = {}
+    for _ in range(args.repeats):
+        fast_times, ff = one_pass(apps, args.n, no_skip=False)
+        fast_min = _merge_minima(fast_min, fast_times)
+        slow_times, _ = one_pass(apps, args.n, no_skip=True)
+        slow_min = _merge_minima(slow_min, slow_times)
+        if args.baseline_src:
+            seed_min = _merge_minima(
+                seed_min, seed_pass(args.baseline_src, apps, args.n)
+            )
+    assert fast_min is not None and slow_min is not None
+
+    fast = _cells_payload(apps, fast_min)
+    no_skip = _cells_payload(apps, slow_min)
+    ff_cycles = sum(cell["ff_cycles"] for cell in ff.values())
+    total_cycles = sum(cell["cycles"] for cell in ff.values())
+    payload: Dict[str, object] = {
+        "benchmark": "core",
+        "apps": list(apps),
+        "models": list(MODELS),
+        "n_insts": args.n,
+        "repeats": args.repeats,
+        "fast": fast,
+        "no_skip": no_skip,
+        "skip_speedup": round(no_skip["wall_s"] / fast["wall_s"], 3),
+        "ff_cycles_skipped": ff_cycles,
+        "total_cycles": total_cycles,
+        "ff_skip_fraction": round(ff_cycles / total_cycles, 3)
+        if total_cycles else 0.0,
+    }
+    if seed_min is not None:
+        seed = _cells_payload(apps, seed_min)
+        payload["seed"] = seed
+        payload["speedup_vs_seed"] = round(
+            seed["wall_s"] / fast["wall_s"], 3
+        )
+        payload["speedup_vs_seed_cells"] = {
+            name: round(old / new, 3)
+            for name, old, new in zip(cell_names(apps), seed_min, fast_min)
+        }
+
+    print(json.dumps(payload, indent=2))
+    failed = False
+    if args.check:
+        for failure in check_payload(
+            payload, RESULTS_DIR / RESULT_NAME, args.tolerance
+        ):
+            print(f"ERROR: {failure}")
+            failed = True
+    else:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_path = RESULTS_DIR / RESULT_NAME
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwritten to {out_path}")
+    if args.min_seed_speedup is not None:
+        measured = payload.get("speedup_vs_seed")
+        if not isinstance(measured, (int, float)):
+            print("ERROR: --min-seed-speedup given without --baseline-src")
+            failed = True
+        elif measured < args.min_seed_speedup:
+            print(
+                f"ERROR: speedup vs seed {measured:.3f} < required "
+                f"{args.min_seed_speedup}"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

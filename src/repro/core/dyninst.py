@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..isa import TraceInst
+from .decoded import OP_META, DecodedOp
 
 PRIMARY = 0
 DUPLICATE = 1
@@ -24,6 +25,7 @@ class DynInst:
 
     __slots__ = (
         "trace",
+        "dec",
         "stream",
         "uid",
         "pair",
@@ -46,6 +48,9 @@ class DynInst:
 
     def __init__(self, trace: TraceInst, stream: int = PRIMARY):
         self.trace = trace
+        #: Decoded per-opcode facts (timings, category flags); the stage
+        #: methods read these slots instead of re-deriving them per cycle.
+        self.dec: DecodedOp = OP_META[trace.opcode]
         self.stream = stream
         self.uid = trace.seq * 2 + stream
         self.pair: Optional[DynInst] = None
@@ -83,7 +88,7 @@ class DynInst:
         For memory instructions both streams compute (only) the effective
         address; for control flow, the next PC; otherwise the result value.
         """
-        if self.trace.is_mem:
+        if self.dec.mem:
             return self.mem_addr
         return self.result
 

@@ -35,8 +35,8 @@ class FUPool:
         units = self._busy_until.get(fu)
         if units is None:
             return False
-        for index, busy in enumerate(units):
-            if busy <= cycle:
+        for index in range(len(units)):
+            if units[index] <= cycle:
                 units[index] = cycle + timing.init_interval
                 return True
         return False

@@ -27,18 +27,12 @@ machines; the hooks are the methods prefixed ``_hook_``.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Optional, Set, Tuple
 
 from ..branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
-from ..isa import (
-    FUClass,
-    NUM_REGS,
-    Opcode,
-    TraceInst,
-    is_cond_branch,
-    op_timing,
-)
+from ..isa import FUClass, NUM_REGS, TraceInst
 from ..memory import MemoryHierarchy
 from ..telemetry.events import (
     NULL_TRACER,
@@ -54,6 +48,7 @@ from ..telemetry.events import (
 )
 from ..workloads import Trace
 from .config import MachineConfig
+from .decoded import OP_META, DecodedOp, DecodedTrace, decode_trace
 from .dyninst import PRIMARY, DynInst
 from .fu import FUPool
 from .stats import SimStats
@@ -68,6 +63,11 @@ class OOOPipeline:
 
     #: number of architectural copies of each trace instruction
     STREAMS = 1
+
+    #: RUU entries one trace instruction dispatches as (what
+    #: ``_hook_make_entries`` returns).  Lets ``_dispatch`` test capacity
+    #: *before* constructing entries it would immediately discard.
+    DISPATCH_ENTRIES = 1
 
     name = "SIE"
 
@@ -85,6 +85,25 @@ class OOOPipeline:
 
         self.cycle = 0
         self.committed_arch = 0
+
+        # Decoded-trace cache (core/decoded.py): per-instruction metadata
+        # resolved once per (trace, line size) and shared across pipeline
+        # instantiations; the stage methods below index these arrays
+        # instead of re-deriving timings/blocks/categories per cycle.
+        self._line_bytes = self.hier.l1i.config.line_bytes
+        self._icache_hit_latency = self.hier.l1i.config.hit_latency
+        self._decoded: DecodedTrace = decode_trace(trace, self._line_bytes)
+        self._perfect_predictor = bool(getattr(self.predictor, "perfect", False))
+
+        # Quiescent-cycle fast-forward (docs/PERFORMANCE.md).  Statistics
+        # are byte-identical either way (the golden-stats gate in
+        # tests/test_fast_forward.py); REPRO_NO_SKIP=1 is the escape hatch
+        # that forces the cycle-by-cycle path for equivalence checks.
+        self.fast_forward = not os.environ.get("REPRO_NO_SKIP")
+        #: Diagnostics (plain attributes, deliberately NOT SimStats fields:
+        #: stats must not differ with skipping on vs off).
+        self.ff_spans = 0
+        self.ff_cycles = 0
 
         # Front end.
         self.fetch_index = 0
@@ -104,6 +123,10 @@ class OOOPipeline:
         self._events: List[Tuple[int, int, str, DynInst]] = []
         self._ready: List[Tuple[int, DynInst]] = []
         self._fu_blocked: List[Tuple[int, DynInst]] = []
+        # FU classes whose claim already failed this cycle (cleared at the
+        # top of each _issue pass): a per-cycle negative-result memo.
+        # Subclasses with partitioned pools may key it more finely.
+        self._fu_full: Set[Any] = set()
         self.mem_queue: Deque[DynInst] = deque()
         # last producer of each register, per stream
         self._producers = [
@@ -149,14 +172,16 @@ class OOOPipeline:
     def _hook_commit(self, budget: int) -> int:
         """Commit from the RUU head; returns slots consumed."""
         used = 0
-        while self.ruu and used < budget:
-            head = self.ruu[0]
+        ruu = self.ruu
+        stats = self.stats
+        while ruu and used < budget:
+            head = ruu[0]
             if not head.complete:
                 break
-            self.ruu.popleft()
+            ruu.popleft()
             self._retire(head)
             self.committed_arch += 1
-            self.stats.committed += 1
+            stats.committed += 1
             used += 1
         return used
 
@@ -165,6 +190,18 @@ class OOOPipeline:
 
     def _hook_decode_consumed(self) -> None:
         """A decode-queue entry was accepted for dispatch (SMT bookkeeping)."""
+
+    def _hook_dispatch_blocked(self, inst: TraceInst, mispredicted: bool) -> None:
+        """Dispatch rejected the decode head (RUU/LSQ full) this cycle.
+
+        ``_dispatch`` used to learn this by building the head's RUU
+        entries and discarding them; the capacity pre-check skips that
+        construction, so any side effects ``_hook_make_entries`` has
+        beyond construction (the IRB models probe the buffer per dispatch
+        attempt, which moves port accounting and statistics) MUST be
+        replicated here by the subclass that introduces them.  The base
+        construction is pure, so the default does nothing.
+        """
 
     def _hook_tick(self) -> None:
         """Per-cycle housekeeping for extensions (IRB write drain)."""
@@ -184,26 +221,31 @@ class OOOPipeline:
         :meth:`run`.
         """
         hier = self.hier
-        line = hier.l1i.config.line_bytes
+        decoded = self._decoded
+        dec_ops = decoded.ops
+        blocks = decoded.blocks
+        warm_mem = decoded.warm_mem
+        predictor = self.predictor
+        btb = self.btb
         last_block = None
-        for inst in self.trace:
-            block = inst.pc // line
+        for index, inst in enumerate(self.trace.insts):
+            block = blocks[index]
             if block != last_block:
                 hier.fetch(inst.pc, 0)
                 last_block = block
-            if inst.is_load:
-                if not self.trace.is_cold(inst.mem_addr):
+            dec = dec_ops[index]
+            if warm_mem[index]:
+                if dec.load:
                     hier.load(inst.mem_addr, 0)
-            elif inst.is_store:
-                if not self.trace.is_cold(inst.mem_addr):
+                else:
                     hier.store(inst.mem_addr, 0)
-            if is_cond_branch(inst.opcode):
-                predicted = self.predictor.predict(inst.pc)
-                self.predictor.update(inst.pc, inst.taken, predicted)
+            if dec.cond_branch:
+                predicted = predictor.predict(inst.pc)
+                predictor.update(inst.pc, inst.taken, predicted)
                 if inst.taken:
-                    self.btb.update(inst.pc, inst.next_pc)
-            elif inst.is_branch and inst.opcode is not Opcode.RET:
-                self.btb.update(inst.pc, inst.next_pc)
+                    btb.update(inst.pc, inst.next_pc)
+            elif dec.branch and not dec.is_ret:
+                btb.update(inst.pc, inst.next_pc)
         hier.reset_stats()
         self.predictor.reset_stats()
         self.btb.reset_stats()
@@ -216,33 +258,186 @@ class OOOPipeline:
         """Simulate until the whole trace commits; returns statistics."""
         limit = max_cycles if max_cycles is not None else 1000 + 120 * len(self.trace)
         total = len(self.trace)
+        fast = self.fast_forward
         while self.committed_arch < total:
+            # Cheapest quiescence precondition inlined: on busy cycles the
+            # ready list is almost never empty, so most iterations skip the
+            # _fast_forward call entirely.
+            if fast and not (self._ready or self._fu_blocked or self.mem_queue):
+                self._fast_forward(limit)
+                if self.cycle > limit:
+                    raise DeadlockError(self._deadlock_message(total))
             self._step()
             if self.cycle > limit:
-                raise DeadlockError(
-                    f"{self.name}: no completion after {self.cycle} cycles "
-                    f"({self.committed_arch}/{total} committed)"
-                )
+                raise DeadlockError(self._deadlock_message(total))
         self.stats.cycles = self.cycle
         if self.fault_injector is not None:
             self.stats.faults_injected = self.fault_injector.log.injected
         return self.stats
 
+    def _deadlock_message(self, total: int) -> str:
+        return (
+            f"{self.name}: no completion after {self.cycle} cycles "
+            f"({self.committed_arch}/{total} committed)"
+        )
+
     def _step(self) -> None:
         cycle = self.cycle
         if self.fault_injector is not None:
             self.fault_injector.on_tick(self)
-        self._process_events(cycle)
-        self._commit(cycle)
-        self._issue(cycle)
-        self._start_memory(cycle)
-        self._dispatch(cycle)
+        # Stage guards: each skipped call is provably a no-op this cycle
+        # (the same conditions _fast_forward relies on, applied per stage).
+        events = self._events
+        if events and events[0][0] <= cycle:
+            self._process_events(cycle)
+        if self.ruu:
+            self._commit(cycle)
+        if self._ready or self._fu_blocked:
+            self._issue(cycle)
+        if self.mem_queue:
+            self._start_memory(cycle)
+        decode_q = self.decode_q
+        if decode_q and decode_q[0][0] <= cycle:
+            self._dispatch(cycle)
         self._fetch(cycle)
         self._hook_tick()
         tracer = self.tracer
-        if tracer:
+        if tracer is not NULL_TRACER:
             tracer.emit(CycleEvent(cycle, len(self.ruu), self.lsq_count))
         self.cycle = cycle + 1
+
+    # ==================================================================
+    # Quiescent-cycle fast-forward
+    # ==================================================================
+
+    def _fast_forward(self, limit: int) -> None:
+        """Jump ``self.cycle`` over cycles where nothing can make progress.
+
+        A cycle is quiescent when every stage of :meth:`_step` is provably
+        a no-op — or a replicable constant: nothing is ready or blocked on
+        an FU, the memory queue is empty, no event is due, the RUU head is
+        not committable, the decode-queue head is either not yet
+        dispatchable or blocked on a full RUU/LSQ, fetch cannot proceed
+        (:meth:`_fetch_quiescent`), per-cycle housekeeping has no pending
+        work (:meth:`_tick_quiescent`) and no fault-injection strike is
+        armed.  All of that state is event-driven, so it stays unchanged
+        until the earliest of: the event-heap head, the decode-queue head's
+        ready cycle, ``fetch_resume_cycle``, the injector's next armed
+        cycle — or the deadlock limit.
+
+        The jump replicates exactly what the skipped steps would have done:
+        per-cycle fetch- and dispatch-stall counters, the per-attempt
+        dispatch side effects of a blocked head (via
+        :meth:`_hook_dispatch_blocked`, replayed per skipped cycle in
+        models that define one) and (when a tracer is attached) one
+        ``CycleEvent`` per skipped cycle with the span's constant RUU/LSQ
+        occupancy.  Statistics are byte-identical with skipping on or off —
+        the golden-stats gate in tests/test_fast_forward.py enforces it.
+        """
+        if self._ready or self._fu_blocked or self.mem_queue:
+            return
+        cycle = self.cycle
+        events = self._events
+        if events and events[0][0] <= cycle:
+            return
+        ruu = self.ruu
+        if ruu and ruu[0].complete:
+            # The head may be committable (or trigger a checker recovery);
+            # conservatively step.  Incomplete head == commit is a no-op
+            # in every model (base, DIE pairs, SRT output buffer).
+            return
+        decode_q = self.decode_q
+        blocked_stat: Optional[str] = None
+        if decode_q and decode_q[0][0] <= cycle:
+            # The head is dispatchable: quiescent only when dispatch is
+            # provably blocked this cycle — and therefore every cycle until
+            # an event retires something (RUU) or drains the LSQ.  _dispatch
+            # would count one stall and fire _hook_dispatch_blocked per
+            # cycle; both are replicated below.
+            config = self.config
+            if len(ruu) + self.DISPATCH_ENTRIES > config.ruu_size:
+                blocked_stat = "dispatch_stall_ruu"
+            elif (
+                OP_META[decode_q[0][1].opcode].mem
+                and self.lsq_count >= config.lsq_size
+            ):
+                blocked_stat = "dispatch_stall_lsq"
+            else:
+                return
+        stall = self._fetch_quiescent(cycle)
+        if stall is None or not self._tick_quiescent():
+            return
+        injector = self.fault_injector
+        next_armed: Optional[int] = None
+        if injector is not None:
+            next_armed = injector.next_armed_cycle()
+            if next_armed is not None and next_armed <= cycle:
+                return
+        target = limit + 1
+        if events and events[0][0] < target:
+            target = events[0][0]
+        if blocked_stat is None and decode_q and decode_q[0][0] < target:
+            target = decode_q[0][0]
+        resume = self.fetch_resume_cycle
+        if cycle < resume < target:
+            target = resume
+        if next_armed is not None and next_armed < target:
+            target = next_armed
+        if target <= cycle:
+            return
+        span = target - cycle
+        stats = self.stats
+        if stall:
+            # What each skipped _fetch call would have counted.
+            stats.fetch_stall_mispredict += stall * span
+        if blocked_stat is not None:
+            setattr(stats, blocked_stat, getattr(stats, blocked_stat) + span)
+        tracer = self.tracer
+        tracing = tracer is not NULL_TRACER
+        # A blocked dispatch head fires _hook_dispatch_blocked once per
+        # cycle; models whose hook has side effects (IRB probe accounting,
+        # VP training) get it replayed per skipped cycle — still far
+        # cheaper than stepping, and byte-identical.
+        replay = (
+            blocked_stat is not None
+            and type(self)._hook_dispatch_blocked
+            is not OOOPipeline._hook_dispatch_blocked
+        )
+        if tracing or replay:
+            # Occupancy is constant across a quiescent span: synthesize the
+            # per-cycle samples MetricsCollector timelines expect, in the
+            # same within-cycle order as stepping (dispatch before the
+            # cycle's CycleEvent).
+            ruu_len = len(ruu)
+            lsq = self.lsq_count
+            if replay:
+                _, head_inst, head_mispred = decode_q[0]
+            for when in range(cycle, target):
+                if replay:
+                    self.cycle = when
+                    self._hook_dispatch_blocked(head_inst, head_mispred)
+                if tracing:
+                    tracer.emit(CycleEvent(when, ruu_len, lsq))
+        self.ff_spans += 1
+        self.ff_cycles += span
+        self.cycle = target
+
+    def _fetch_quiescent(self, cycle: int) -> Optional[int]:
+        """``None`` if :meth:`_fetch` could do work this cycle; otherwise
+        the per-cycle ``fetch_stall_mispredict`` increment to replicate."""
+        if self.fetch_blocked_seq is not None:
+            return 1
+        if cycle < self.fetch_resume_cycle:
+            return 0
+        if len(self.decode_q) >= self._decode_cap:
+            return 0
+        if self.fetch_index >= len(self.trace):
+            return 0
+        return None
+
+    def _tick_quiescent(self) -> bool:
+        """True when :meth:`_hook_tick` is a no-op this cycle."""
+        return True
 
     # ==================================================================
     # Completion / writeback
@@ -272,7 +467,7 @@ class OOOPipeline:
         inst.complete = True
         inst.complete_cycle = cycle
         tracer = self.tracer
-        if tracer:
+        if tracer is not NULL_TRACER:
             trace = inst.trace
             tracer.emit(
                 InstEvent(
@@ -292,7 +487,7 @@ class OOOPipeline:
                 else:
                     self._hook_on_ready(consumer, cycle)
         inst.consumers = []
-        if inst.trace.is_branch:
+        if inst.dec.branch:
             self._resolve_branch(inst, cycle)
 
     def _resolve_branch(self, inst: DynInst, cycle: int) -> None:
@@ -307,20 +502,22 @@ class OOOPipeline:
     # ==================================================================
 
     def _commit(self, cycle: int) -> None:
-        self._retired_this_cycle: List[DynInst] = []
+        retired = self._retired_this_cycle
+        if retired:
+            retired.clear()
         self._hook_commit(self.config.commit_width)
-        if self._retired_this_cycle:
-            self._hook_post_commit(self._retired_this_cycle)
+        if retired:
+            self._hook_post_commit(retired)
 
     def _retire(self, inst: DynInst) -> None:
         if inst.in_lsq:
             self.lsq_count -= 1
             inst.in_lsq = False
-        if inst.trace.is_store and inst.stream == PRIMARY:
+        if inst.dec.store and inst.stream == PRIMARY:
             self.hier.store(inst.trace.mem_addr, self.cycle)
         self._retired_this_cycle.append(inst)
         tracer = self.tracer
-        if tracer:
+        if tracer is not NULL_TRACER:
             trace = inst.trace
             tracer.emit(
                 InstEvent(
@@ -334,33 +531,50 @@ class OOOPipeline:
     # ==================================================================
 
     def _issue(self, cycle: int) -> None:
+        # Selection is oldest-first (by uid) across the newly-ready heap
+        # AND last cycle's FU-blocked leftovers.  The leftovers are already
+        # sorted (they were consumed in uid order), so a two-way merge
+        # visits the union in uid order without re-pushing every blocked
+        # entry into the heap each cycle — on an ALU-saturated DIE core
+        # that re-heaping dominated the issue stage.
         ready = self._ready
-        # Re-arm instructions that failed selection last cycle.
-        if self._fu_blocked:
-            for item in self._fu_blocked:
-                heapq.heappush(ready, item)
-            self._fu_blocked = []
+        blocked = self._fu_blocked
         budget = self.config.issue_width
+        full = self._fu_full
+        if full:
+            full.clear()
         skipped: List[Tuple[int, DynInst]] = []
-        while budget > 0 and ready:
-            uid, inst = heapq.heappop(ready)
+        bi = 0
+        bn = len(blocked)
+        while budget > 0 and (bi < bn or ready):
+            if bi < bn and (not ready or blocked[bi][0] < ready[0][0]):
+                item = blocked[bi]
+                bi += 1
+            else:
+                item = heapq.heappop(ready)
+            inst = item[1]
             if inst.squashed or inst.issued:
                 continue
             if not self._try_issue(inst, cycle):
-                skipped.append((uid, inst))
+                skipped.append(item)
                 continue
             budget -= 1
-        self._fu_blocked.extend(skipped)
+        if bi < bn:
+            # Budget ran out: the unvisited tail stays blocked (its uids
+            # all exceed the visited ones, so `skipped` stays sorted).
+            skipped.extend(blocked[bi:])
+        self._fu_blocked = skipped
 
     def _try_issue(self, inst: DynInst, cycle: int) -> bool:
         trace = inst.trace
         fu = trace.fu
+        stats = self.stats
+        tracer = self.tracer
         if fu is FUClass.NONE:
             inst.issued = True
             self._schedule(cycle + 1, "complete", inst)
-            self.stats.issued += 1
-            tracer = self.tracer
-            if tracer:
+            stats.issued += 1
+            if tracer is not NULL_TRACER:
                 tracer.emit(
                     InstEvent(
                         STAGE_ISSUE, cycle, trace.seq, trace.pc, trace.opcode,
@@ -368,24 +582,28 @@ class OOOPipeline:
                     )
                 )
             return True
-        timing = op_timing(trace.opcode)
-        if inst.is_duplicate and trace.is_mem:
-            # Duplicates of loads/stores perform only address calculation.
-            timing = op_timing(Opcode.ADD)
+        # Units only get busier within a cycle, so one failed claim rules
+        # out every later attempt on the same class this cycle.
+        full = self._fu_full
+        if fu in full:
+            return False
+        dec = inst.dec
+        # Duplicates of loads/stores perform only address calculation.
+        timing = dec.dup_timing if inst.stream else dec.timing
         if not self.fu.issue(fu, cycle, timing):
+            full.add(fu)
             return False
         inst.issued = True
-        self.stats.issued += 1
-        self.stats.count_fu_issue(fu, timing.init_interval)
-        tracer = self.tracer
-        if tracer:
+        stats.issued += 1
+        stats.count_fu_issue(fu, timing.init_interval)
+        if tracer is not NULL_TRACER:
             tracer.emit(
                 InstEvent(
                     STAGE_ISSUE, cycle, trace.seq, trace.pc, trace.opcode,
                     inst.stream, fu,
                 )
             )
-        if trace.is_load and not inst.is_duplicate:
+        if dec.load and not inst.stream:
             # Address ready next cycle, then the access arbitrates for a
             # D-cache port.
             self._schedule(cycle + 1, "addr_done", inst)
@@ -416,23 +634,33 @@ class OOOPipeline:
     # ==================================================================
 
     def _dispatch(self, cycle: int) -> None:
-        budget = self.config.decode_width
         config = self.config
-        while budget > 0 and self.decode_q:
-            ready_at, trace_inst, mispredicted = self.decode_q[0]
+        budget = config.decode_width
+        decode_q = self.decode_q
+        ruu = self.ruu
+        stats = self.stats
+        ruu_size = config.ruu_size
+        lsq_size = config.lsq_size
+        need = self.DISPATCH_ENTRIES
+        while budget > 0 and decode_q:
+            ready_at, trace_inst, mispredicted = decode_q[0]
             if ready_at > cycle:
                 break
+            if need > budget:
+                # Construction side effects (IRB probe accounting) happen
+                # even for a group that does not fit the cycle's budget.
+                self._hook_make_entries(trace_inst, mispredicted)
+                break
+            if len(ruu) + need > ruu_size:
+                stats.dispatch_stall_ruu += 1
+                self._hook_dispatch_blocked(trace_inst, mispredicted)
+                break
+            if self.lsq_count >= lsq_size and OP_META[trace_inst.opcode].mem:
+                stats.dispatch_stall_lsq += 1
+                self._hook_dispatch_blocked(trace_inst, mispredicted)
+                break
             entries = self._hook_make_entries(trace_inst, mispredicted)
-            if len(entries) > budget:
-                break
-            if len(self.ruu) + len(entries) > config.ruu_size:
-                self.stats.dispatch_stall_ruu += 1
-                break
-            needs_lsq = 1 if trace_inst.is_mem else 0
-            if needs_lsq and self.lsq_count >= config.lsq_size:
-                self.stats.dispatch_stall_lsq += 1
-                break
-            self.decode_q.popleft()
+            decode_q.popleft()
             self._hook_decode_consumed()
             # Two-phase dispatch: link every entry's sources before
             # recording any entry's destination.  A pair's duplicate must
@@ -449,30 +677,46 @@ class OOOPipeline:
         self.ruu.append(inst)
         self.stats.dispatched += 1
         tracer = self.tracer
-        if tracer:
+        if tracer is not NULL_TRACER:
             tracer.emit(
                 InstEvent(
                     STAGE_DISPATCH, cycle, trace.seq, trace.pc, trace.opcode,
                     inst.stream, trace.fu,
                 )
             )
-        if trace.is_mem and not inst.is_duplicate:
+        if inst.dec.mem and not inst.stream:
             self.lsq_count += 1
             inst.in_lsq = True
 
-        source_stream = self._hook_source_stream(inst)
-        table = self._producers[source_stream]
-        for reg in (trace.src1, trace.src2):
-            if reg is None or reg == 0:
-                continue
+        table = self._producers[self._hook_source_stream(inst)]
+        pending = 0
+        reg = trace.src1
+        if reg is not None and reg != 0:
             producer = table[reg]
             if producer is not None:
                 producer = self._hook_effective_producer(inst, producer)
-            if producer is not None and not producer.complete and not producer.squashed:
-                inst.pending += 1
-                producer.consumers.append(inst)
-
-        if inst.pending == 0:
+                if (
+                    producer is not None
+                    and not producer.complete
+                    and not producer.squashed
+                ):
+                    pending += 1
+                    producer.consumers.append(inst)
+        reg = trace.src2
+        if reg is not None and reg != 0:
+            producer = table[reg]
+            if producer is not None:
+                producer = self._hook_effective_producer(inst, producer)
+                if (
+                    producer is not None
+                    and not producer.complete
+                    and not producer.squashed
+                ):
+                    pending += 1
+                    producer.consumers.append(inst)
+        if pending:
+            inst.pending = pending
+        else:
             inst.ready_cycle = cycle + 1
             self._hook_on_ready(inst, cycle + 1)
 
@@ -491,30 +735,44 @@ class OOOPipeline:
             return
         if cycle < self.fetch_resume_cycle:
             return
-        if len(self.decode_q) >= self._decode_cap:
+        decode_q = self.decode_q
+        if len(decode_q) >= self._decode_cap:
             return
-        total = len(self.trace)
+        insts = self.trace.insts
+        total = len(insts)
+        index = self.fetch_index
+        if index >= total:
+            return
+        decoded = self._decoded
+        dec_ops = decoded.ops
+        blocks = decoded.blocks
+        stats = self.stats
         budget = self.config.fetch_width
-        line_bytes = self.hier.l1i.config.line_bytes
         dispatch_at = cycle + self.config.frontend_latency
-        while budget > 0 and self.fetch_index < total:
-            inst = self.trace[self.fetch_index]
-            block = inst.pc // line_bytes
+        tracer = self.tracer
+        tracing = tracer is not NULL_TRACER
+        while budget > 0 and index < total:
+            inst = insts[index]
+            block = blocks[index]
             if block != self._last_fetch_block:
                 latency = self.hier.fetch(inst.pc, cycle)
                 self._last_fetch_block = block
-                if latency > self.hier.l1i.config.hit_latency:
+                if latency > self._icache_hit_latency:
                     # I-cache miss: this group ends; the line arrives later.
                     self.fetch_resume_cycle = cycle + latency
-                    self.stats.fetch_stall_icache += 1
+                    stats.fetch_stall_icache += 1
+                    self.fetch_index = index
                     return
-            mispredicted, predicted_taken = self._predict(inst)
-            self.decode_q.append((dispatch_at, inst, mispredicted))
-            self.stats.fetched += 1
-            self.fetch_index += 1
+            dec = dec_ops[index]
+            if dec.branch:
+                mispredicted, predicted_taken = self._predict(inst, dec)
+            else:
+                mispredicted = predicted_taken = False
+            decode_q.append((dispatch_at, inst, mispredicted))
+            stats.fetched += 1
+            index += 1
             budget -= 1
-            tracer = self.tracer
-            if tracer:
+            if tracing:
                 tracer.emit(
                     InstEvent(
                         STAGE_FETCH, cycle, inst.seq, inst.pc, inst.opcode,
@@ -523,19 +781,23 @@ class OOOPipeline:
                 )
             if mispredicted:
                 self.fetch_blocked_seq = inst.seq
+                self.fetch_index = index
                 return
-            if inst.is_branch and (predicted_taken or inst.taken):
+            if dec.branch and (predicted_taken or inst.taken):
                 # One taken (or predicted-taken) branch per fetch group.
+                self.fetch_index = index
                 return
+        self.fetch_index = index
 
-    def _predict(self, inst: TraceInst) -> Tuple[bool, bool]:
-        """Fetch-time prediction; returns (mispredicted, predicted_taken)."""
-        op = inst.opcode
-        if not inst.is_branch:
-            return False, False
+    def _predict(self, inst: TraceInst, dec: DecodedOp) -> Tuple[bool, bool]:
+        """Fetch-time prediction for a branch ``inst``.
+
+        Returns (mispredicted, predicted_taken).  Callers pre-filter on
+        ``dec.branch``; non-branches never reach here.
+        """
         self.stats.branches += 1
-        if getattr(self.predictor, "perfect", False):
-            if op is Opcode.CALL:
+        if self._perfect_predictor:
+            if dec.is_call:
                 self.ras.push(inst.pc + 4)
             return False, inst.taken
         # Predictor/BTB state is trained immediately at fetch.  Training at
@@ -544,7 +806,7 @@ class OOOPipeline:
         # comparison; in-order fetch-time training keeps the front end
         # identical across models (a standard trace-driven approximation —
         # the *penalty* still depends on when the branch resolves).
-        if is_cond_branch(op):
+        if dec.cond_branch:
             predicted = self.predictor.predict(inst.pc)
             wrong_target = False
             if predicted:
@@ -562,14 +824,14 @@ class OOOPipeline:
             if mispredicted:
                 self.stats.mispredicts += 1
             return mispredicted, predicted
-        if op is Opcode.RET:
+        if dec.is_ret:
             predicted_pc = self.ras.pop()
             mispredicted = predicted_pc != inst.next_pc
             if mispredicted:
                 self.stats.mispredicts += 1
             return mispredicted, True
         # Direct JUMP/CALL: the BTB provides the target at fetch.
-        if op is Opcode.CALL:
+        if dec.is_call:
             self.ras.push(inst.pc + 4)
         target = self.btb.lookup(inst.pc)
         if target != inst.next_pc:

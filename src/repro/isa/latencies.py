@@ -10,6 +10,7 @@ timed by the memory hierarchy.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from .opcodes import Opcode
 
@@ -50,9 +51,23 @@ _TIMINGS = {
 }
 
 
+#: Complete opcode -> timing table with the single-cycle default
+#: materialized for every opcode.  Decode-time consumers (the decoded-trace
+#: cache in ``core/decoded.py``) resolve timings through this table exactly
+#: once per opcode instead of calling :func:`op_timing` per dynamic
+#: instruction per cycle.
+TIMING_TABLE: Dict[Opcode, OpTiming] = {
+    op: _TIMINGS.get(op, _DEFAULT) for op in Opcode
+}
+
+#: What a duplicate of a load/store pays: address calculation only,
+#: a single-cycle integer ALU operation (see Section 2.1 of the paper).
+ADDRESS_CALC_TIMING = TIMING_TABLE[Opcode.ADD]
+
+
 def op_timing(op: Opcode) -> OpTiming:
     """Return the :class:`OpTiming` for ``op`` (single-cycle by default)."""
-    return _TIMINGS.get(op, _DEFAULT)
+    return TIMING_TABLE[op]
 
 
 def op_latency(op: Opcode) -> int:

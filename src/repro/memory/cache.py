@@ -8,7 +8,7 @@ traffic stats), but cached data lives in the functional trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 
 def _check_pow2(value: int, what: str) -> None:
@@ -60,7 +60,7 @@ class CacheConfig:
         return sets
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     tag: int
     dirty: bool = False
@@ -78,42 +78,50 @@ class Cache:
         self.config = config
         self.sets = config.sets
         self.stats = CacheStats()
+        # Geometry is validated power-of-two, so indexing reduces to
+        # shifts/masks (the hot probe path runs once per cache access).
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = self.sets - 1
+        self._set_shift = self.sets.bit_length() - 1
+        self._ways = config.ways
         # set index -> LRU-ordered list of lines (index 0 = MRU)
-        self._lines: Dict[int, List[_Line]] = {}
+        self._lines: List[List[_Line]] = [[] for _ in range(self.sets)]
 
     def _locate(self, addr: int) -> tuple:
-        line_addr = addr // self.config.line_bytes
-        return line_addr % self.sets, line_addr // self.sets
+        line_addr = addr >> self._line_shift
+        return line_addr & self._set_mask, line_addr >> self._set_shift
 
     def probe(self, addr: int, is_write: bool = False) -> bool:
         """Access ``addr``; returns True on hit.  Allocates on miss."""
-        self.stats.accesses += 1
-        index, tag = self._locate(addr)
-        lines = self._lines.setdefault(index, [])
+        stats = self.stats
+        stats.accesses += 1
+        line_addr = addr >> self._line_shift
+        lines = self._lines[line_addr & self._set_mask]
+        tag = line_addr >> self._set_shift
         for position, line in enumerate(lines):
             if line.tag == tag:
                 if position:
                     lines.insert(0, lines.pop(position))
                 if is_write:
                     line.dirty = True
-                self.stats.hits += 1
+                stats.hits += 1
                 return True
-        self.stats.misses += 1
+        stats.misses += 1
         lines.insert(0, _Line(tag=tag, dirty=is_write))
-        if len(lines) > self.config.ways:
+        if len(lines) > self._ways:
             victim = lines.pop()
             if victim.dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         return False
 
     def contains(self, addr: int) -> bool:
         """Non-destructive tag check (no stats, no LRU update)."""
         index, tag = self._locate(addr)
-        return any(line.tag == tag for line in self._lines.get(index, ()))
+        return any(line.tag == tag for line in self._lines[index])
 
     def flush(self) -> None:
         """Invalidate all lines (keeps statistics)."""
-        self._lines.clear()
+        self._lines = [[] for _ in range(self.sets)]
 
     def reset_stats(self) -> None:
         """Zero the counters (keeps contents — used after warmup)."""

@@ -22,12 +22,14 @@ inter-cluster forwarding delay.
 
 from __future__ import annotations
 
+import heapq
+
 from typing import Dict, Optional
 
 from ..core import MachineConfig
 from ..core.dyninst import DynInst
 from ..core.fu import FUPool
-from ..isa import FUClass, Opcode, op_timing
+from ..isa import FUClass
 from ..workloads import Trace
 from .checker import CommitChecker
 from .die import DIEPipeline
@@ -78,47 +80,64 @@ class DIEClusteredPipeline(DIEPipeline):
         return 0
 
     def _issue(self, cycle: int) -> None:
-        """Per-cluster oldest-first select with per-cluster issue width."""
-        import heapq
+        """Per-cluster oldest-first select with per-cluster issue width.
 
+        Same two-way merge as the base class: last cycle's blocked list is
+        already uid-sorted, so it merges with the ready heap instead of
+        being re-heaped every cycle.
+        """
         ready = self._ready
-        if self._fu_blocked:
-            for item in self._fu_blocked:
-                heapq.heappush(ready, item)
-            self._fu_blocked = []
+        blocked = self._fu_blocked
         budgets = [self._cluster_issue_width, self._cluster_issue_width]
+        full = self._fu_full
+        if full:
+            full.clear()
         skipped = []
-        while ready and (budgets[0] > 0 or budgets[1] > 0):
-            uid, inst = heapq.heappop(ready)
+        bi = 0
+        bn = len(blocked)
+        while (bi < bn or ready) and (budgets[0] > 0 or budgets[1] > 0):
+            if bi < bn and (not ready or blocked[bi][0] < ready[0][0]):
+                item = blocked[bi]
+                bi += 1
+            else:
+                item = heapq.heappop(ready)
+            inst = item[1]
             if inst.squashed or inst.issued:
                 continue
             cluster = inst.stream
             if budgets[cluster] == 0:
-                skipped.append((uid, inst))
+                skipped.append(item)
                 continue
             if not self._try_issue_cluster(inst, cycle, cluster):
-                skipped.append((uid, inst))
+                skipped.append(item)
                 continue
             budgets[cluster] -= 1
-        self._fu_blocked.extend(skipped)
+        if bi < bn:
+            skipped.extend(blocked[bi:])
+        self._fu_blocked = skipped
 
     def _try_issue_cluster(self, inst: DynInst, cycle: int, cluster: int) -> bool:
-        trace = inst.trace
-        fu = trace.fu
+        fu = inst.trace.fu
         if fu is FUClass.NONE:
             inst.issued = True
             self._schedule(cycle + 1, "complete", inst)
             self.stats.issued += 1
             return True
-        timing = op_timing(trace.opcode)
-        if inst.is_duplicate and trace.is_mem:
-            timing = op_timing(Opcode.ADD)
+        # Per-cycle negative-result memo, keyed by cluster: a failed claim
+        # rules out the same (cluster, class) for the rest of the cycle.
+        full = self._fu_full
+        key = (cluster, fu)
+        if key in full:
+            return False
+        dec = inst.dec
+        timing = dec.dup_timing if inst.stream else dec.timing
         if not self.clusters[cluster].issue(fu, cycle, timing):
+            full.add(key)
             return False
         inst.issued = True
         self.stats.issued += 1
         self.stats.count_fu_issue(fu, timing.init_interval)
-        if trace.is_load and not inst.is_duplicate:
+        if dec.load and not inst.stream:
             self._schedule(cycle + 1, "addr_done", inst)
         else:
             self._schedule(cycle + timing.latency, "complete", inst)

@@ -16,7 +16,7 @@ from typing import List, Optional
 from ..core import MachineConfig, OOOPipeline
 from ..core.dyninst import DUPLICATE, PRIMARY, DynInst
 from ..isa import TraceInst
-from ..telemetry.events import CheckEvent
+from ..telemetry.events import NULL_TRACER, CheckEvent
 from ..workloads import Trace
 from .checker import CommitChecker
 
@@ -25,6 +25,7 @@ class DIEPipeline(OOOPipeline):
     """Instruction-level temporally redundant execution on the OOO core."""
 
     STREAMS = 2
+    DISPATCH_ENTRIES = 2
     name = "DIE"
 
     def __init__(
@@ -61,7 +62,7 @@ class DIEPipeline(OOOPipeline):
         if (
             inst.is_duplicate
             and producer.is_duplicate
-            and producer.trace.is_load
+            and producer.dec.load
         ):
             assert producer.pair is not None  # every DIE entry is paired
             return producer.pair
@@ -69,26 +70,29 @@ class DIEPipeline(OOOPipeline):
 
     def _hook_commit(self, budget: int) -> int:
         used = 0
-        while len(self.ruu) >= 2 and used + 2 <= budget:
-            primary = self.ruu[0]
+        ruu = self.ruu
+        checker = self.checker
+        stats = self.stats
+        tracer = self.tracer
+        while len(ruu) >= 2 and used + 2 <= budget:
+            primary = ruu[0]
             duplicate = primary.pair
             assert duplicate is not None  # every DIE entry is paired
             if not (primary.complete and duplicate.complete):
                 break
-            ok = self.checker.check(primary, duplicate)
-            tracer = self.tracer
-            if tracer:
+            ok = checker.check(primary, duplicate)
+            if tracer is not NULL_TRACER:
                 tracer.emit(CheckEvent(self.cycle, primary.seq, ok))
             if not ok:
                 self._recover(primary)
                 break
-            self.ruu.popleft()
-            self.ruu.popleft()
+            ruu.popleft()
+            ruu.popleft()
             self._retire(primary)
             self._retire(duplicate)
             self.committed_arch += 1
-            self.stats.committed += 1
-            self.stats.pairs_checked += 1
+            stats.committed += 1
+            stats.pairs_checked += 1
             used += 2
         return used
 

@@ -42,6 +42,9 @@ class SRTPipeline(OOOPipeline):
     """Two redundant SMT contexts with slack fetch and value queues."""
 
     STREAMS = 2
+    #: Two thread contexts, but each trace instruction dispatches as ONE
+    #: RUU entry per context fetch (unlike DIE's paired dispatch).
+    DISPATCH_ENTRIES = 1
     name = "SRT"
 
     def __init__(
@@ -107,48 +110,85 @@ class SRTPipeline(OOOPipeline):
         # branch outcomes and load values are waiting when it arrives.
         return self.trail_index < self._trail_limit()
 
+    def _fetch_quiescent(self, cycle: int) -> Optional[int]:
+        # Mirror of _fetch/_can_fetch_* without side effects: returns the
+        # per-cycle fetch_stall_mispredict increment when neither context
+        # can fetch, None when one can.  Every quantity consulted here is
+        # static while the back end is idle (trail_committed only moves at
+        # commit, the cursors only move when a fetch happens).
+        if len(self.decode_q) >= self._decode_cap:
+            return 0
+        if self._can_fetch_trailing() and self.trail_index < len(self.trace):
+            return None
+        if self.fetch_blocked_seq is not None:
+            return 1  # _can_fetch_leading counts this stall each cycle
+        if cycle < self.fetch_resume_cycle:
+            return 0
+        if self.fetch_index >= len(self.trace):
+            return 0
+        if self.fetch_index - self.trail_committed >= self.slack * 4:
+            return 0
+        return None
+
     def _fetch_leading(self, cycle: int) -> None:
-        total = len(self.trace)
+        insts = self.trace.insts
+        total = len(insts)
+        decoded = self._decoded
+        dec_ops = decoded.ops
+        blocks = decoded.blocks
+        index = self.fetch_index
         budget = self.config.fetch_width
-        line_bytes = self.hier.l1i.config.line_bytes
         dispatch_at = cycle + self.config.frontend_latency
-        while budget > 0 and self.fetch_index < total:
-            inst = self.trace[self.fetch_index]
-            block = inst.pc // line_bytes
+        while budget > 0 and index < total:
+            inst = insts[index]
+            block = blocks[index]
             if block != self._last_fetch_block:
                 latency = self.hier.fetch(inst.pc, cycle)
                 self._last_fetch_block = block
-                if latency > self.hier.l1i.config.hit_latency:
+                if latency > self._icache_hit_latency:
                     self.fetch_resume_cycle = cycle + latency
                     self.stats.fetch_stall_icache += 1
+                    self.fetch_index = index
                     return
-            mispredicted, predicted_taken = self._predict(inst)
+            dec = dec_ops[index]
+            if dec.branch:
+                mispredicted, predicted_taken = self._predict(inst, dec)
+            else:
+                mispredicted = predicted_taken = False
             self.decode_q.append((dispatch_at, inst, mispredicted))
             self._decode_streams.append(LEADING)
             self.stats.fetched += 1
-            self.fetch_index += 1
+            index += 1
             budget -= 1
             if mispredicted:
                 self.fetch_blocked_seq = inst.seq
+                self.fetch_index = index
                 return
-            if inst.is_branch and (predicted_taken or inst.taken):
+            if dec.branch and (predicted_taken or inst.taken):
+                self.fetch_index = index
                 return
+        self.fetch_index = index
 
     def _fetch_trailing(self, cycle: int) -> None:
+        insts = self.trace.insts
+        dec_ops = self._decoded.ops
         budget = self.config.fetch_width
         dispatch_at = cycle + self.config.frontend_latency
         limit = self._trail_limit()
-        while budget > 0 and self.trail_index < limit:
-            inst = self.trace[self.trail_index]
+        index = self.trail_index
+        while budget > 0 and index < limit:
+            inst = insts[index]
+            dec = dec_ops[index]
             # Branch outcomes come from the queue: no prediction, no
             # misfetch, and no I-cache charge (the line is resident from
             # the leader's pass).
             self.decode_q.append((dispatch_at, inst, False))
             self._decode_streams.append(TRAILING)
-            self.trail_index += 1
+            index += 1
             budget -= 1
-            if inst.is_branch and inst.taken:
-                return
+            if dec.branch and inst.taken:
+                break
+        self.trail_index = index
 
     # ==================================================================
     # Dispatch: entries carry their context's stream

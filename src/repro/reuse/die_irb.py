@@ -22,8 +22,9 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..core import MachineConfig, SimStats
+from ..core.decoded import OP_META
 from ..core.dyninst import PRIMARY, DynInst
-from ..isa import TraceInst, is_reusable
+from ..isa import TraceInst
 from ..redundancy import CommitChecker, DIEPipeline
 from ..telemetry.events import (
     IRB_LOOKUP,
@@ -31,6 +32,7 @@ from ..telemetry.events import (
     IRB_PORT_STARVED,
     IRB_REUSE_HIT,
     IRB_WRITE,
+    NULL_TRACER,
     IRBEvent,
 )
 from ..workloads import Trace
@@ -58,6 +60,10 @@ class DIEIRBPipeline(DIEPipeline):
             self.irb.config.write_ports,
             self.irb.config.rw_ports,
         )
+        # How far past dispatch the pipelined lookup lands (see _probe).
+        self._lookup_residual = max(
+            0, self.irb.config.lookup_latency - self.config.frontend_latency
+        )
 
     # ------------------------------------------------------------------
     # Fetch-side: pipelined IRB lookup
@@ -76,9 +82,19 @@ class DIEIRBPipeline(DIEPipeline):
             entries[1].name_ops = name_ops
             if inst.dst is not None and inst.dst != 0:
                 self.irb.note_reg_write(inst.dst)
-        if is_reusable(inst.opcode):
+        if entries[1].dec.reusable:
             self._probe(entries[1])
         return entries
+
+    def _hook_dispatch_blocked(self, inst: TraceInst, mispredicted: bool) -> None:
+        # Exactly the side effects _hook_make_entries has beyond building
+        # the (discarded) pair: the name-version bump and the IRB probe —
+        # the probe moves port accounting and statistics per dispatch
+        # *attempt*, so a blocked cycle must still perform it.
+        if self.irb.config.name_based and inst.dst is not None and inst.dst != 0:
+            self.irb.note_reg_write(inst.dst)
+        if OP_META[inst.opcode].reusable:
+            self._probe_pc(inst.pc, inst.opcode)
 
     def _probe(self, duplicate: DynInst) -> None:
         """IRB lookup for one duplicate.
@@ -89,39 +105,33 @@ class DIEIRBPipeline(DIEPipeline):
         the sustained probe rate is the effective dispatch rate — fetch
         groups are bursty and would overstate contention.
         """
-        self.stats.irb_lookups += 1
+        trace = duplicate.trace
+        entry = self._probe_pc(trace.pc, trace.opcode)
+        if entry is not None:
+            duplicate.irb_entry = entry
+            duplicate.irb_ready_cycle = self.cycle + self._lookup_residual
+
+    def _probe_pc(self, pc: int, opcode: object) -> Optional[IRBEntry]:
+        """One probe's accounting (stats, ports, lookup, telemetry)."""
+        stats = self.stats
+        stats.irb_lookups += 1
         tracer = self.tracer
-        if tracer:
-            tracer.emit(
-                IRBEvent(
-                    IRB_LOOKUP, self.cycle, duplicate.trace.pc,
-                    duplicate.trace.opcode,
-                )
-            )
+        tracing = tracer is not NULL_TRACER
+        if tracing:
+            tracer.emit(IRBEvent(IRB_LOOKUP, self.cycle, pc, opcode))
         if not self.ports.try_read(self.cycle):
             # All read ports busy this cycle: the probe is abandoned and
             # the duplicate will execute on the FUs (counted, rare).
-            self.stats.irb_port_starved += 1
-            if tracer:
-                tracer.emit(
-                    IRBEvent(IRB_PORT_STARVED, self.cycle, duplicate.trace.pc)
-                )
-            return
-        entry = self.irb.lookup(duplicate.trace.pc)
+            stats.irb_port_starved += 1
+            if tracing:
+                tracer.emit(IRBEvent(IRB_PORT_STARVED, self.cycle, pc))
+            return None
+        entry = self.irb.lookup(pc)
         if entry is not None:
-            self.stats.irb_pc_hits += 1
-            if tracer:
-                tracer.emit(
-                    IRBEvent(
-                        IRB_PC_HIT, self.cycle, duplicate.trace.pc,
-                        duplicate.trace.opcode,
-                    )
-                )
-            residual = max(
-                0, self.irb.config.lookup_latency - self.config.frontend_latency
-            )
-            duplicate.irb_entry = entry
-            duplicate.irb_ready_cycle = self.cycle + residual
+            stats.irb_pc_hits += 1
+            if tracing:
+                tracer.emit(IRBEvent(IRB_PC_HIT, self.cycle, pc, opcode))
+        return entry
 
     # ------------------------------------------------------------------
     # Wakeup: primary results feed both streams; reuse test at capture
@@ -154,14 +164,14 @@ class DIEIRBPipeline(DIEPipeline):
         """Bypass execute: take the IRB result, go straight to completion."""
         inst.reuse_hit = True
         inst.issued = True
-        if inst.trace.is_mem:
+        if inst.dec.mem:
             inst.mem_addr = entry.result
         else:
             inst.result = entry.result
         self.irb.touch(entry)
         self.stats.irb_reuse_hits += 1
         tracer = self.tracer
-        if tracer:
+        if tracer is not NULL_TRACER:
             tracer.emit(
                 IRBEvent(IRB_REUSE_HIT, cycle, inst.trace.pc, inst.trace.opcode)
             )
@@ -178,13 +188,13 @@ class DIEIRBPipeline(DIEPipeline):
             if inst.stream != PRIMARY:
                 continue
             trace = inst.trace
-            if is_reusable(trace.opcode) and not inst.pair.reuse_hit:
+            if inst.dec.reusable and not inst.pair.reuse_hit:
                 if name_based:
                     op1, op2 = inst.name_ops
                 else:
                     op1, op2 = trace.src1_val, trace.src2_val
                 self.irb.enqueue_write(trace.pc, op1, op2, self._reusable_result(inst))
-                if tracer:
+                if tracer is not NULL_TRACER:
                     tracer.emit(
                         IRBEvent(IRB_WRITE, self.cycle, trace.pc, trace.opcode)
                     )
@@ -204,6 +214,11 @@ class DIEIRBPipeline(DIEPipeline):
 
     def _hook_tick(self) -> None:
         self.irb.drain(self.ports, self.cycle)
+
+    def _tick_quiescent(self) -> bool:
+        # Fast-forward must not jump over cycles where the write queue is
+        # still draining into the IRB through the port arbiter.
+        return not self.irb.pending_writes
 
     # ------------------------------------------------------------------
 

@@ -90,6 +90,7 @@ class IRB:
     def __init__(self, config: Optional[IRBConfig] = None):
         self.config = config if config is not None else IRBConfig()
         self._sets: List[List[IRBEntry]] = [[] for _ in range(self.config.sets)]
+        self._set_mask = self.config.sets - 1
         self._write_q: Deque[Tuple[int, object, object, object]] = deque()
         self.stats = IRBStats()
         self._ctr_max = (1 << self.config.ctr_bits) - 1
@@ -99,12 +100,12 @@ class IRB:
     # ------------------------------------------------------------------
 
     def _set_for(self, pc: int) -> List[IRBEntry]:
-        return self._sets[(pc >> 2) & (self.config.sets - 1)]
+        return self._sets[(pc >> 2) & self._set_mask]
 
     def lookup(self, pc: int) -> Optional[IRBEntry]:
         """PC probe; returns the entry (refreshing set-LRU) or ``None``."""
         self.stats.lookups += 1
-        entries = self._set_for(pc)
+        entries = self._sets[(pc >> 2) & self._set_mask]
         for position, entry in enumerate(entries):
             if entry.pc == pc:
                 if position:
@@ -128,6 +129,11 @@ class IRB:
             self._write_q.popleft()
             self.stats.write_drops += 1
         self._write_q.append((pc, op1, op2, result))
+
+    @property
+    def pending_writes(self) -> int:
+        """Installs still queued behind the write ports (drained per tick)."""
+        return len(self._write_q)
 
     def drain(self, ports: PortArbiter, cycle: int) -> int:
         """Perform queued installs through available write ports."""

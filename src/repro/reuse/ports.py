@@ -28,16 +28,22 @@ class PortArbiter:
         self._reads = 0
         self._writes = 0
 
-    def _roll(self, cycle: int) -> None:
-        if cycle != self._cycle:
-            self._cycle = cycle
-            self._reads = 0
-            self._writes = 0
-
     def try_read(self, cycle: int) -> bool:
         """Claim a read port at ``cycle``; False if all are busy."""
-        self._roll(cycle)
-        rw_for_reads = max(0, self.rw_ports - max(0, self._writes - self.write_ports))
+        if cycle != self._cycle:
+            # Fresh cycle: ports are all free (the common case — claim
+            # without computing read/write overflow into the rw pool).
+            self._cycle = cycle
+            self._reads = 1
+            self._writes = 0
+            if self.read_ports + self.rw_ports:
+                return True
+            self._reads = 0
+            return False
+        writes_over = self._writes - self.write_ports
+        rw_for_reads = self.rw_ports - writes_over if writes_over > 0 else self.rw_ports
+        if rw_for_reads < 0:
+            rw_for_reads = 0
         if self._reads < self.read_ports + rw_for_reads:
             self._reads += 1
             return True
@@ -45,8 +51,18 @@ class PortArbiter:
 
     def try_write(self, cycle: int) -> bool:
         """Claim a write port at ``cycle``; False if all are busy."""
-        self._roll(cycle)
-        rw_for_writes = max(0, self.rw_ports - max(0, self._reads - self.read_ports))
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._reads = 0
+            self._writes = 1
+            if self.write_ports + self.rw_ports:
+                return True
+            self._writes = 0
+            return False
+        reads_over = self._reads - self.read_ports
+        rw_for_writes = self.rw_ports - reads_over if reads_over > 0 else self.rw_ports
+        if rw_for_writes < 0:
+            rw_for_writes = 0
         if self._writes < self.write_ports + rw_for_writes:
             self._writes += 1
             return True

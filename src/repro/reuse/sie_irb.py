@@ -14,14 +14,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..core import MachineConfig, OOOPipeline, SimStats
+from ..core.decoded import OP_META
 from ..core.dyninst import DynInst
-from ..isa import TraceInst, is_reusable
+from ..isa import TraceInst
 from ..telemetry.events import (
     IRB_LOOKUP,
     IRB_PC_HIT,
     IRB_PORT_STARVED,
     IRB_REUSE_HIT,
     IRB_WRITE,
+    NULL_TRACER,
     IRBEvent,
 )
 from ..workloads import Trace
@@ -47,36 +49,47 @@ class SIEIRBPipeline(OOOPipeline):
             self.irb.config.write_ports,
             self.irb.config.rw_ports,
         )
+        # How far past dispatch the pipelined lookup lands.
+        self._lookup_residual = max(
+            0, self.irb.config.lookup_latency - self.config.frontend_latency
+        )
 
     # ------------------------------------------------------------------
 
     def _hook_make_entries(self, inst: TraceInst, mispredicted: bool) -> List[DynInst]:
         entries = super()._hook_make_entries(inst, mispredicted)
-        trace = entries[0].trace
-        if not is_reusable(trace.opcode):
-            return entries
-        self.stats.irb_lookups += 1
-        tracer = self.tracer
-        if tracer:
-            tracer.emit(IRBEvent(IRB_LOOKUP, self.cycle, trace.pc, trace.opcode))
-        if not self.ports.try_read(self.cycle):
-            self.stats.irb_port_starved += 1
-            if tracer:
-                tracer.emit(IRBEvent(IRB_PORT_STARVED, self.cycle, trace.pc))
-            return entries
-        entry = self.irb.lookup(trace.pc)
-        if entry is not None:
-            self.stats.irb_pc_hits += 1
-            if tracer:
-                tracer.emit(
-                    IRBEvent(IRB_PC_HIT, self.cycle, trace.pc, trace.opcode)
-                )
-            residual = max(
-                0, self.irb.config.lookup_latency - self.config.frontend_latency
-            )
-            entries[0].irb_entry = entry
-            entries[0].irb_ready_cycle = self.cycle + residual
+        if entries[0].dec.reusable:
+            entry = self._probe_pc(inst.pc, inst.opcode)
+            if entry is not None:
+                entries[0].irb_entry = entry
+                entries[0].irb_ready_cycle = self.cycle + self._lookup_residual
         return entries
+
+    def _hook_dispatch_blocked(self, inst: TraceInst, mispredicted: bool) -> None:
+        # A rejected dispatch attempt still probes the IRB (stats and
+        # port accounting), exactly as the discarded construction did.
+        if OP_META[inst.opcode].reusable:
+            self._probe_pc(inst.pc, inst.opcode)
+
+    def _probe_pc(self, pc: int, opcode: object):
+        """One probe's accounting (stats, ports, lookup, telemetry)."""
+        stats = self.stats
+        stats.irb_lookups += 1
+        tracer = self.tracer
+        tracing = tracer is not NULL_TRACER
+        if tracing:
+            tracer.emit(IRBEvent(IRB_LOOKUP, self.cycle, pc, opcode))
+        if not self.ports.try_read(self.cycle):
+            stats.irb_port_starved += 1
+            if tracing:
+                tracer.emit(IRBEvent(IRB_PORT_STARVED, self.cycle, pc))
+            return None
+        entry = self.irb.lookup(pc)
+        if entry is not None:
+            stats.irb_pc_hits += 1
+            if tracing:
+                tracer.emit(IRBEvent(IRB_PC_HIT, self.cycle, pc, opcode))
+        return entry
 
     # ------------------------------------------------------------------
 
@@ -95,7 +108,7 @@ class SIEIRBPipeline(OOOPipeline):
                 self.irb.touch(entry)
                 self.stats.irb_reuse_hits += 1
                 tracer = self.tracer
-                if tracer:
+                if tracer is not NULL_TRACER:
                     tracer.emit(
                         IRBEvent(IRB_REUSE_HIT, cycle, trace.pc, trace.opcode)
                     )
@@ -107,7 +120,7 @@ class SIEIRBPipeline(OOOPipeline):
         # Reuse hit: consumes an issue slot but no ALU.
         inst.issued = True
         self.stats.issued += 1
-        if inst.trace.is_load:
+        if inst.dec.load:
             # Only the address calculation is reused; the access proceeds.
             self._schedule(cycle + 1, "addr_done", inst)
         else:
@@ -120,18 +133,23 @@ class SIEIRBPipeline(OOOPipeline):
         tracer = self.tracer
         for inst in insts:
             trace = inst.trace
-            if is_reusable(trace.opcode) and not inst.reuse_hit:
-                result = trace.mem_addr if trace.is_mem else trace.result
+            if inst.dec.reusable and not inst.reuse_hit:
+                result = trace.mem_addr if inst.dec.mem else trace.result
                 self.irb.enqueue_write(
                     trace.pc, trace.src1_val, trace.src2_val, result
                 )
-                if tracer:
+                if tracer is not NULL_TRACER:
                     tracer.emit(
                         IRBEvent(IRB_WRITE, self.cycle, trace.pc, trace.opcode)
                     )
 
     def _hook_tick(self) -> None:
         self.irb.drain(self.ports, self.cycle)
+
+    def _tick_quiescent(self) -> bool:
+        # Fast-forward must not jump over cycles where the write queue is
+        # still draining into the IRB through the port arbiter.
+        return not self.irb.pending_writes
 
     def run(self, max_cycles: Optional[int] = None) -> SimStats:
         stats = super().run(max_cycles)

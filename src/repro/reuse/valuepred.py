@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 from ..core import MachineConfig
 from ..core.dyninst import PRIMARY, DynInst
-from ..isa import TraceInst, is_reusable
+from ..isa import TraceInst
 from ..redundancy import CommitChecker, DIEPipeline
 from ..workloads import Trace
 
@@ -137,7 +137,7 @@ class DIEVPPipeline(DIEPipeline):
 
     def _hook_make_entries(self, inst: TraceInst, mispredicted: bool) -> List[DynInst]:
         entries = super()._hook_make_entries(inst, mispredicted)
-        if is_reusable(inst.opcode):
+        if entries[0].dec.reusable:
             self.stats.irb_lookups += 1
             ahead = self._inflight.get(inst.pc, 0) + 1
             self._inflight[inst.pc] = ahead
@@ -148,6 +148,12 @@ class DIEVPPipeline(DIEPipeline):
                 duplicate.issued = True  # held out of the scheduler
                 self._speculating[duplicate.uid] = predicted
         return entries
+
+    def _hook_dispatch_blocked(self, inst: TraceInst, mispredicted: bool) -> None:
+        # The VP probe mutates predictor counters and in-flight state per
+        # dispatch *attempt*; build-and-discard reproduces those effects
+        # verbatim (this model is not on the benchmark's hot path).
+        self._hook_make_entries(inst, mispredicted)
 
     def _hook_source_stream(self, inst: DynInst) -> int:
         # As in DIE-IRB: primary results wake both streams, so a failed
@@ -172,7 +178,7 @@ class DIEVPPipeline(DIEPipeline):
         if predicted == inst.output():
             # Verified: the duplicate never touches an ALU.
             duplicate.reuse_hit = True
-            if duplicate.trace.is_mem:
+            if duplicate.dec.mem:
                 duplicate.mem_addr = predicted
             else:
                 duplicate.result = predicted
@@ -190,7 +196,7 @@ class DIEVPPipeline(DIEPipeline):
         for inst in insts:
             if inst.stream != PRIMARY:
                 continue
-            if is_reusable(inst.trace.opcode):
+            if inst.dec.reusable:
                 pc = inst.trace.pc
                 remaining = self._inflight.get(pc, 1) - 1
                 if remaining:

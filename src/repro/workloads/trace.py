@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence
+from typing import Callable, Dict, Hashable, Iterator, List, Sequence, TypeVar
 
 from ..isa import FUClass, TraceInst, is_cond_branch
+
+_T = TypeVar("_T")
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,25 @@ class Trace:
         #: (base, limit) byte ranges that cache warmup must skip: they model
         #: heap data far larger than the trace window samples.
         self.cold_ranges = tuple(cold_ranges)
+        #: Memoized immutable side-structures computed from this trace
+        #: (e.g. the decoded-instruction cache); see :meth:`derived`.
+        self._derived: Dict[Hashable, object] = {}
+
+    def derived(self, key: Hashable, build: Callable[["Trace"], _T]) -> _T:
+        """Memoize an immutable structure derived from this trace.
+
+        The trace is shared across pipeline instantiations (and across
+        forked campaign workers) through the runner's trace cache, so a
+        derived structure built once here is built once per process —
+        or once per campaign, when the parent pre-warms it before fork.
+        ``build`` must be a pure function of the trace and ``key``.
+        """
+        try:
+            return self._derived[key]  # type: ignore[return-value]
+        except KeyError:
+            value = build(self)
+            self._derived[key] = value
+            return value
 
     def is_cold(self, addr: int) -> bool:
         """True if ``addr`` lies in a region warmup must not touch."""

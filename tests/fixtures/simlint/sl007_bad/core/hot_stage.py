@@ -1,0 +1,19 @@
+"""SL007 fixture: stage methods re-resolving opcode facts every cycle."""
+
+from ...isa import op_latency, op_timing
+
+
+class Pipeline:
+    def _issue(self, inst, cycle):
+        timing = op_timing(inst.opcode)  # per-cycle dictionary probe
+        return cycle + timing.latency
+
+    def _complete(self, inst, cycle):
+        import repro.isa as isa
+
+        return cycle + isa.op_latency(inst.opcode)  # attribute form
+
+
+def helper(inst):
+    # Module-level helpers called from stages are just as hot.
+    return op_latency(inst.opcode)

@@ -1,0 +1,16 @@
+"""SL007 fixture: stages reading precomputed DecodedOp fields (clean)."""
+
+from ...isa import op_timing
+
+# Import-time resolution is the sanctioned pattern: run the probe once,
+# then index the table from the hot loop.
+_TIMING = {op: op_timing(op) for op in ()}
+
+
+class Pipeline:
+    def _issue(self, inst, cycle):
+        timing = inst.dec.timing  # plain slot attribute, no re-decode
+        return cycle + timing.latency
+
+    def _complete(self, inst, cycle):
+        return cycle + inst.dec.timing.latency

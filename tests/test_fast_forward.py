@@ -1,0 +1,168 @@
+"""Skip-equivalence: quiescent-cycle fast-forward must be invisible.
+
+Every statistic a run produces — cycle counts, stall breakdowns, fault
+outcomes, telemetry timelines — must be byte-identical whether the
+pipeline steps through quiescent cycles or skips over them.  These tests
+run each model twice, once with fast-forward enabled (the default) and
+once with the ``REPRO_NO_SKIP=1`` escape hatch, and compare everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DeadlockError
+from repro.isa import Opcode, int_reg
+from repro.redundancy import EXEC_PRIMARY, Fault, FaultInjector
+from repro.redundancy.faults import IRB_ENTRY
+from repro.simulation import MODELS, get_trace, simulate
+from repro.telemetry import MetricsCollector, RecordingTracer
+from repro.telemetry.events import CycleEvent, FaultEvent
+
+from helpers import addi, assemble
+from repro.workloads.executor import FunctionalExecutor
+
+N_INSTS = 2_500
+
+R1, R2, R3 = int_reg(1), int_reg(2), int_reg(3)
+
+
+def run_once(monkeypatch, trace, model, skip, **kwargs):
+    """Simulate ``trace`` with fast-forward forced on or off."""
+    with monkeypatch.context() as patch:
+        if skip:
+            patch.delenv("REPRO_NO_SKIP", raising=False)
+        else:
+            patch.setenv("REPRO_NO_SKIP", "1")
+        return simulate(trace, model, **kwargs)
+
+
+def repetitive_trace(iterations=40):
+    """A loop whose body repeats operand values every iteration."""
+    ops = [addi(R1, 0, 5), addi(R2, 0, 7), (Opcode.ADD, R3, R1, R2, 0)]
+    program = assemble(ops)  # + JUMP back: 4 insts per iteration
+    return FunctionalExecutor(program).run(4 * iterations)
+
+
+class TestStatsIdentity:
+    """SimStats.to_dict() equality for every model on real workloads."""
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    @pytest.mark.parametrize("app", ["gzip", "equake"])
+    def test_identical_stats(self, monkeypatch, model, app):
+        trace = get_trace(app, N_INSTS)
+        fast = run_once(monkeypatch, trace, model, skip=True)
+        slow = run_once(monkeypatch, trace, model, skip=False)
+        assert fast.stats.to_dict() == slow.stats.to_dict()
+
+    def test_escape_hatch_disables_skipping(self, monkeypatch):
+        trace = get_trace("gzip", N_INSTS)
+        slow = run_once(monkeypatch, trace, "sie", skip=False)
+        assert slow.pipeline.fast_forward is False
+        assert slow.pipeline.ff_spans == 0
+        assert slow.pipeline.ff_cycles == 0
+
+    def test_skipping_actually_happens(self, monkeypatch):
+        # equake is memory-bound: long L2-miss shadows are quiescent, so
+        # a run that never fast-forwards means the optimisation is dead.
+        trace = get_trace("equake", N_INSTS)
+        fast = run_once(monkeypatch, trace, "sie", skip=True)
+        assert fast.pipeline.fast_forward is True
+        assert fast.pipeline.ff_spans > 0
+        assert fast.pipeline.ff_cycles > 0
+
+
+class TestFaultIdentity:
+    """No armed injection cycle is ever skipped."""
+
+    def test_exec_fault_identical(self, monkeypatch):
+        trace = get_trace("gzip", N_INSTS)
+        results = {}
+        for skip in (True, False):
+            injector = FaultInjector([Fault(kind=EXEC_PRIMARY, seq=700)])
+            result = run_once(
+                monkeypatch, trace, "die", skip=skip, fault_injector=injector
+            )
+            results[skip] = (result.stats.to_dict(), injector.log.injected,
+                            injector.log.latent)
+        assert results[True] == results[False]
+
+    def test_irb_cell_fault_identical(self, monkeypatch):
+        # IRB_ENTRY faults are armed by *cycle*, the hard case for
+        # skipping: the fast-forward target must stop at the armed cycle.
+        trace = repetitive_trace()
+        results = {}
+        for skip in (True, False):
+            injector = FaultInjector([Fault(kind=IRB_ENTRY, pc=8, cycle=30)])
+            result = run_once(
+                monkeypatch, trace, "die-irb", skip=skip, fault_injector=injector
+            )
+            results[skip] = (result.stats.to_dict(), injector.log.injected,
+                            injector.log.latent)
+        assert results[True][0]["check_mismatches"] >= 1
+        assert results[True] == results[False]
+
+    def test_fault_event_cycles_identical(self, monkeypatch):
+        # The FaultEvent stream pins the exact cycle each fault resolved:
+        # equality proves the injection landed on the same cycle, not
+        # merely that the aggregate statistics happened to agree.
+        trace = repetitive_trace()
+        streams = {}
+        for skip in (True, False):
+            injector = FaultInjector([Fault(kind=IRB_ENTRY, pc=8, cycle=30)])
+            tracer = RecordingTracer()
+            run_once(
+                monkeypatch, trace, "die-irb", skip=skip,
+                fault_injector=injector, tracer=tracer,
+            )
+            streams[skip] = [
+                event for event in tracer.events if isinstance(event, FaultEvent)
+            ]
+        assert streams[True]
+        assert streams[True] == streams[False]
+
+
+class TestTelemetryIdentity:
+    """Tracers observe the same event stream and never perturb the run."""
+
+    def test_cycle_event_stream_identical(self, monkeypatch):
+        trace = get_trace("equake", N_INSTS)
+        streams = {}
+        for skip in (True, False):
+            tracer = RecordingTracer()
+            run_once(monkeypatch, trace, "die", skip=skip, tracer=tracer)
+            streams[skip] = [
+                event for event in tracer.events if isinstance(event, CycleEvent)
+            ]
+        assert streams[True] == streams[False]
+
+    def test_metrics_snapshot_identical(self, monkeypatch):
+        trace = get_trace("equake", N_INSTS)
+        snapshots = {}
+        for skip in (True, False):
+            collector = MetricsCollector()
+            run_once(monkeypatch, trace, "die-irb", skip=skip, tracer=collector)
+            snapshots[skip] = collector.snapshot()
+        assert snapshots[True] == snapshots[False]
+
+    def test_tracer_does_not_change_stats(self, monkeypatch):
+        trace = get_trace("gzip", N_INSTS)
+        plain = run_once(monkeypatch, trace, "die", skip=True)
+        traced = run_once(
+            monkeypatch, trace, "die", skip=True, tracer=RecordingTracer()
+        )
+        assert plain.stats.to_dict() == traced.stats.to_dict()
+
+
+class TestDeadlockIdentity:
+    """The deadlock guard fires at the same point with the same message."""
+
+    @pytest.mark.parametrize("model", ["sie", "die-irb", "srt"])
+    def test_deadlock_message_identical(self, monkeypatch, model):
+        trace = get_trace("gzip", N_INSTS)
+        messages = {}
+        for skip in (True, False):
+            with pytest.raises(DeadlockError) as excinfo:
+                run_once(monkeypatch, trace, model, skip=skip, max_cycles=300)
+            messages[skip] = str(excinfo.value)
+        assert messages[True] == messages[False]

@@ -7,4 +7,5 @@ from . import (  # noqa: F401
     sl004_sphere,
     sl005_frozen,
     sl006_output,
+    sl007_decode,
 )
