@@ -86,6 +86,30 @@ class ResultStore:
         """A run profile lives next to its result, same content key."""
         return self.root / key[:2] / f"{key}.profile.json"
 
+    def fuzz_path_for(self, key: str) -> Path:
+        """A fuzz-corpus entry; standalone (no parent result entry)."""
+        return self.root / key[:2] / f"{key}.fuzz.json"
+
+    # -- shared write path ---------------------------------------------
+
+    @staticmethod
+    def _write_json(path: Path, document: dict) -> None:
+        """Write one JSON document atomically (temp file + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
     # -- read ----------------------------------------------------------
 
     def get(self, key: str) -> Optional[Tuple[SimStats, Provenance]]:
@@ -119,8 +143,6 @@ class ResultStore:
     def put(self, job: Job, stats: SimStats, provenance: Provenance) -> str:
         """Persist one result atomically; returns the key written."""
         key = job_key(job)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "format": STORE_FORMAT,
             "key": key,
@@ -131,19 +153,7 @@ class ResultStore:
                 "code_version": provenance.code_version,
             },
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self._write_json(self.path_for(key), document)
         self.writes += 1
         return key
 
@@ -158,23 +168,9 @@ class ResultStore:
     def put_profile(self, job: Job, profile: RunProfile) -> str:
         """Persist ``job``'s run profile atomically; returns the key."""
         key = job_key(job)
-        path = self.profile_path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = profile.to_dict()
         document["key"] = key
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self._write_json(self.profile_path_for(key), document)
         return key
 
     def get_profile(self, key: str) -> Optional[RunProfile]:
@@ -190,6 +186,39 @@ class ResultStore:
     def get_profile_for_job(self, job: Job) -> Optional[RunProfile]:
         return self.get_profile(job_key(job))
 
+    # -- fuzz corpus ---------------------------------------------------
+    #
+    # The validation subsystem (repro.validation) persists divergent
+    # fuzz cases as ``<key>.fuzz.json`` side-cars.  Unlike profiles they
+    # are standalone documents — the key is a content hash of the replay
+    # spec, not of any campaign job — but they share the store's shard
+    # layout and atomic-write discipline so campaigns and fuzz corpora
+    # can live in one directory tree.
+
+    def put_fuzz(self, key: str, document: dict) -> str:
+        """Persist one fuzz-corpus document atomically under ``key``."""
+        self._write_json(self.fuzz_path_for(key), document)
+        return key
+
+    def get_fuzz(self, key: str) -> Optional[dict]:
+        """Load one fuzz-corpus document; ``None`` when absent/corrupt."""
+        try:
+            with open(self.fuzz_path_for(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def fuzz_keys(self) -> Iterator[str]:
+        """Every fuzz-corpus key in the store, in sorted shard order."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.fuzz.json")):
+                yield entry.name[: -len(".fuzz.json")]
+
     # -- maintenance ---------------------------------------------------
 
     def keys(self) -> Iterator[str]:
@@ -199,8 +228,8 @@ class ResultStore:
             if not shard.is_dir():
                 continue
             for entry in sorted(shard.glob("*.json")):
-                if entry.stem.endswith(".profile"):
-                    continue  # profile side-cars are not result entries
+                if entry.stem.endswith((".profile", ".fuzz")):
+                    continue  # side-cars are not result entries
                 yield entry.stem
 
     def __len__(self) -> int:
@@ -210,7 +239,7 @@ class ResultStore:
         return self.path_for(key).is_file()
 
     def clear(self) -> int:
-        """Delete every entry (and its profile side-car, if any);
+        """Delete every entry, profile side-car and fuzz-corpus document;
         returns how many result entries were removed."""
         removed = 0
         for key in list(self.keys()):
@@ -221,6 +250,11 @@ class ResultStore:
                 pass
             try:
                 self.profile_path_for(key).unlink()
+            except OSError:
+                pass
+        for key in list(self.fuzz_keys()):
+            try:
+                self.fuzz_path_for(key).unlink()
             except OSError:
                 pass
         return removed

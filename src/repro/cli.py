@@ -14,6 +14,10 @@ Commands:
 * ``profile diff`` — perun-style degradation check between two stored
   run profiles; exits non-zero when a metric regressed past the
   threshold.
+* ``fuzz`` — differential fuzzing: seeded random programs through the
+  functional oracle plus every timing model, invariant-checked, with
+  divergences shrunk into a replayable corpus
+  (see ``docs/VALIDATION.md``).
 """
 
 from __future__ import annotations
@@ -156,6 +160,39 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="empty the store before running")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress on stderr")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing + invariant validation across all models",
+    )
+    fuzz.add_argument("--n", type=int, default=200, metavar="CASES",
+                      help="number of random programs (default 200)")
+    fuzz.add_argument("--seed", type=int, default=1, help="campaign seed")
+    fuzz.add_argument(
+        "--models", default=None,
+        help=f"comma-separated subset of: {', '.join(sorted(MODELS))} "
+             "(default: all)",
+    )
+    fuzz.add_argument("--n-insts", type=int, default=None, metavar="N",
+                      help="dynamic instructions per case")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default 1 = serial)")
+    fuzz.add_argument("--replay", default=None, metavar="KEY",
+                      help="re-run one stored corpus entry instead of fuzzing")
+    fuzz.add_argument("--list", action="store_true", dest="list_corpus",
+                      help="list stored corpus entries and exit")
+    fuzz.add_argument("--store-dir", default=None, metavar="DIR",
+                      help="result-store root (default results/store)")
+    fuzz.add_argument("--no-store", action="store_true",
+                      help="do not persist divergent cases")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="persist divergent cases without minimizing them")
+    fuzz.add_argument(
+        "--bug", action="store_true",
+        help="inject a synthetic divergence (end-to-end harness self-test)",
+    )
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress progress on stderr")
 
     return parser
 
@@ -449,6 +486,113 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .validation import DEFAULT_CASE_INSTS, replay_case, run_fuzz
+    from .validation.engine import CaseOutcome
+
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+
+    if args.list_corpus:
+        if store is None:
+            print("--list needs a store (drop --no-store)", file=sys.stderr)
+            return 2
+        count = 0
+        for key in store.fuzz_keys():
+            document = store.get_fuzz(key) or {}
+            invariants = sorted(
+                {d["invariant"] for d in document.get("divergences", ())}
+            )
+            meta = document.get("meta", {})
+            print(
+                f"{key}  family={meta.get('family', '?')} "
+                f"invariants={','.join(invariants) or '?'}"
+            )
+            count += 1
+        print(f"{count} corpus entr{'y' if count == 1 else 'ies'}", file=sys.stderr)
+        return 0
+
+    models = None
+    if args.models:
+        models = [m.strip() for m in args.models.split(",") if m.strip()]
+        unknown = [m for m in models if m not in MODELS]
+        if unknown:
+            print(f"unknown models: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    if args.replay:
+        if store is None:
+            print("--replay needs a store (drop --no-store)", file=sys.stderr)
+            return 2
+        try:
+            divergences, document = replay_case(args.replay, store, models)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        meta = document.get("meta", {})
+        print(
+            f"replayed {args.replay[:16]}… "
+            f"(family={meta.get('family', '?')}, "
+            f"{len(document['spec']['program']['insts'])} static instructions, "
+            f"{document['spec']['n_insts']} dynamic)"
+        )
+        if not divergences:
+            print("divergence no longer reproduces (fixed)")
+            return 0
+        for divergence in divergences:
+            print(f"  {divergence.invariant} [{divergence.model}] {divergence.detail}")
+        return 1
+
+    n_insts = args.n_insts if args.n_insts is not None else DEFAULT_CASE_INSTS
+
+    def progress(done: int, total: int, outcome: CaseOutcome) -> None:
+        if args.quiet:
+            return
+        if outcome.divergences:
+            first = outcome.divergences[0]
+            print(
+                f"fuzz [{done}/{total}] case {outcome.index} "
+                f"({outcome.family}): DIVERGED {first.invariant} "
+                f"[{first.model}]",
+                file=sys.stderr,
+            )
+        elif done % 50 == 0 or done == total:
+            print(f"fuzz [{done}/{total}]", file=sys.stderr)
+
+    report = run_fuzz(
+        args.n,
+        seed=args.seed,
+        models=models,
+        n_insts=n_insts,
+        store=store,
+        do_shrink=not args.no_shrink,
+        synthetic_bug=args.bug,
+        jobs_n=args.jobs,
+        progress=progress,
+    )
+    print(
+        f"fuzz: {report.cases} case(s) over {len(report.models)} model(s), "
+        f"{len(report.findings)} divergence(s), {report.exempted} exempted"
+    )
+    for finding in report.findings:
+        shrunk = (
+            f"shrunk to {finding.shrink.static_insts} static / "
+            f"{finding.shrink.n_insts} dynamic"
+            if finding.shrink is not None
+            else "not shrunk"
+        )
+        print(f"  case {finding.outcome.index} ({finding.outcome.family}): {shrunk}")
+        for divergence in finding.outcome.divergences:
+            print(
+                f"    {divergence.invariant} [{divergence.model}] "
+                f"{divergence.detail}"
+            )
+        if finding.key and store is not None:
+            print(f"    replay: repro fuzz --replay {finding.key}")
+    return 1 if report.findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -468,4 +612,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")

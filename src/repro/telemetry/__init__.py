@@ -19,6 +19,7 @@ on ``repro.isa`` and the standard library).
 from .events import (
     CheckEvent,
     CycleEvent,
+    DivergenceEvent,
     Event,
     FaultEvent,
     InstEvent,
@@ -42,6 +43,7 @@ from .record import RecordingTracer, TeeTracer, replay
 __all__ = [
     "CheckEvent",
     "CycleEvent",
+    "DivergenceEvent",
     "Event",
     "FaultEvent",
     "Histogram",

@@ -26,6 +26,9 @@ Event taxonomy (see ``docs/TELEMETRY.md``):
   outcome (injected / latent).
 * :class:`CycleEvent` — end-of-cycle occupancy sample (RUU / LSQ),
   emitted once per simulated cycle.
+* :class:`DivergenceEvent` — one cross-model invariant violation found
+  by the differential-fuzzing harness (``repro.validation``); emitted
+  post-run, stamped with the diverging run's final cycle.
 """
 
 from __future__ import annotations
@@ -130,7 +133,25 @@ class CycleEvent:
     lsq: int
 
 
-Event = Union[InstEvent, IRBEvent, CheckEvent, FaultEvent, CycleEvent]
+@dataclass(frozen=True)
+class DivergenceEvent:
+    """One invariant violation surfaced by differential validation.
+
+    ``invariant`` names the violated check (``repro.validation``'s
+    catalogue), ``model`` the timing model it implicates (empty for
+    cross-model or oracle-level checks), and ``detail`` a one-line,
+    human-readable account of the disagreement.
+    """
+
+    cycle: int
+    invariant: str
+    model: str
+    detail: str
+
+
+Event = Union[
+    InstEvent, IRBEvent, CheckEvent, FaultEvent, CycleEvent, DivergenceEvent
+]
 
 
 class Tracer:

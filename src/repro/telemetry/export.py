@@ -35,6 +35,7 @@ from .events import (
     STAGE_ISSUE,
     STAGE_SQUASH,
     CheckEvent,
+    DivergenceEvent,
     Event,
     FaultEvent,
     InstEvent,
@@ -165,6 +166,16 @@ def chrome_trace(
         elif isinstance(event, IRBEvent) and event.kind == IRB_REUSE_HIT:
             trace_events.append(
                 _instant("irb-reuse", event.cycle, 1, 0, {"pc": event.pc})
+            )
+        elif isinstance(event, DivergenceEvent):
+            trace_events.append(
+                _instant(
+                    f"divergence:{event.invariant}",
+                    event.cycle,
+                    0,
+                    0,
+                    {"model": event.model, "detail": event.detail},
+                )
             )
 
     # Track naming metadata: one process per stream, one thread per FU class.

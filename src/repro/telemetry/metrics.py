@@ -33,6 +33,7 @@ from .events import (
     STAGE_SQUASH,
     CheckEvent,
     CycleEvent,
+    DivergenceEvent,
     Event,
     FaultEvent,
     InstEvent,
@@ -169,6 +170,7 @@ class MetricsCollector(Tracer):
         self.checks_ok = 0
         self.checks_failed = 0
         self.fault_outcomes: Dict[str, int] = {}
+        self.divergences: Dict[str, int] = {}
         self.cycles_observed = 0
 
     # ------------------------------------------------------------------
@@ -185,6 +187,9 @@ class MetricsCollector(Tracer):
         elif isinstance(event, FaultEvent):
             key = event.outcome
             self.fault_outcomes[key] = self.fault_outcomes.get(key, 0) + 1
+        elif isinstance(event, DivergenceEvent):
+            name = event.invariant
+            self.divergences[name] = self.divergences.get(name, 0) + 1
 
     # ------------------------------------------------------------------
 
@@ -262,6 +267,7 @@ class MetricsCollector(Tracer):
             "checks_ok": self.checks_ok,
             "checks_failed": self.checks_failed,
             "fault_outcomes": dict(sorted(self.fault_outcomes.items())),
+            "divergences": dict(sorted(self.divergences.items())),
         }
 
 

@@ -1,0 +1,196 @@
+"""Adversarial workload-profile sampling for the differential fuzzer.
+
+The curated SPEC2000 profiles cover a calibrated corner of the
+:class:`~repro.workloads.WorkloadProfile` space; the fuzzer must reach
+the corners they never touch.  Each *family* below is a parameterized
+stress pattern (branch-dense control, store-heavy memory traffic,
+IRB-pathological PC aliasing, serialized pointer chasing, ...), and
+``sample_profile`` draws either a family instance or a fully random
+profile from a seeded :class:`random.Random`.
+
+Profile names embed the case seed because the functional executor keys
+its data-pool RNG on ``(program.name, program.seed, array.name)`` — a
+replayed case must regenerate byte-identical memory contents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Tuple
+
+from ..workloads import WorkloadProfile
+
+
+def _mix(rng: random.Random, **fixed: float) -> Dict[str, float]:
+    """A random instruction mix, with selected category weights pinned."""
+    mix = {
+        "int_alu": rng.uniform(0.2, 0.6),
+        "load": rng.uniform(0.1, 0.35),
+        "store": rng.uniform(0.02, 0.15),
+        "branch": rng.uniform(0.05, 0.2),
+    }
+    if rng.random() < 0.3:
+        mix["int_mul"] = rng.uniform(0.0, 0.05)
+    if rng.random() < 0.15:
+        mix["int_div"] = rng.uniform(0.0, 0.02)
+    if rng.random() < 0.35:
+        mix["fp_add"] = rng.uniform(0.0, 0.25)
+        mix["fp_mul"] = rng.uniform(0.0, 0.2)
+    mix.update(fixed)
+    return mix
+
+
+def _common(rng: random.Random) -> Dict[str, Any]:
+    """Randomized fields shared by every family (all within validation)."""
+    invariant = rng.uniform(0.0, 0.6)
+    return {
+        "dep_distance": rng.uniform(1.5, 12.0),
+        "accum_frac": rng.uniform(0.0, 0.7),
+        "invariant_frac": invariant,
+        "induction_frac": rng.uniform(0.0, min(0.3, 1.0 - invariant)),
+        "value_entropy": rng.choice((1, 2, 8, 32, 128, 1024)),
+        "working_set_kb": rng.choice((1, 4, 64, 512)),
+        "random_access_frac": rng.uniform(0.0, 0.4),
+        "stride_words": rng.choice((1, 2, 4, 8)),
+        "branch_noise": rng.uniform(0.0, 0.5),
+        "data_branch_frac": rng.uniform(0.0, 1.0),
+        "pure_frac": rng.uniform(0.0, 0.6),
+        "fixed_load_frac": rng.uniform(0.0, 0.6),
+        "table_frac": rng.uniform(0.0, 0.7),
+        "table_window_words": rng.choice((1, 8, 64, 256)),
+        "trip_count": rng.randint(2, 96),
+    }
+
+
+def _branch_dense(rng: random.Random, name: str) -> WorkloadProfile:
+    """Control-flow stress: nearly half the mix is branches, all noisy."""
+    base = _common(rng)
+    base.update(
+        branch_noise=rng.uniform(0.4, 1.0),
+        data_branch_frac=rng.uniform(0.6, 1.0),
+        num_kernels=rng.randint(4, 12),
+        body_size=rng.randint(8, 24),
+    )
+    return WorkloadProfile(
+        name=name, mix=_mix(rng, branch=rng.uniform(0.35, 0.5)), **base
+    )
+
+
+def _store_heavy(rng: random.Random, name: str) -> WorkloadProfile:
+    """Memory-write stress: the LSQ and cache write path dominate."""
+    base = _common(rng)
+    base.update(num_kernels=rng.randint(3, 10), body_size=rng.randint(10, 30))
+    return WorkloadProfile(
+        name=name,
+        mix=_mix(rng, store=rng.uniform(0.25, 0.4), load=rng.uniform(0.15, 0.3)),
+        **base,
+    )
+
+
+def _irb_alias(rng: random.Random, name: str) -> WorkloadProfile:
+    """IRB-pathological PC pressure: static footprint far beyond 1024
+    entries with highly repetitive values, so installs and evictions chase
+    each other through the direct-mapped index."""
+    base = _common(rng)
+    base.update(
+        num_kernels=rng.randint(48, 96),
+        body_size=rng.randint(24, 40),
+        trip_count=rng.randint(2, 8),
+        value_entropy=rng.choice((1, 2, 4)),
+        pure_frac=rng.uniform(0.4, 0.7),
+        invariant_frac=rng.uniform(0.3, 0.5),
+        induction_frac=rng.uniform(0.0, 0.1),
+    )
+    return WorkloadProfile(name=name, mix=_mix(rng), **base)
+
+
+def _chase_serial(rng: random.Random, name: str) -> WorkloadProfile:
+    """Serialized pointer chasing: loads depend on prior load values."""
+    base = _common(rng)
+    base.update(
+        num_kernels=rng.randint(2, 6),
+        body_size=rng.randint(10, 24),
+        working_set_kb=rng.choice((64, 512, 4096)),
+    )
+    return WorkloadProfile(
+        name=name,
+        mix=_mix(rng, load=rng.uniform(0.25, 0.4)),
+        pointer_chase_frac=rng.uniform(0.4, 0.9),
+        chase_in_cache=rng.random() < 0.5,
+        **base,
+    )
+
+
+def _fp_dense(rng: random.Random, name: str) -> WorkloadProfile:
+    """FP-unit stress, including the long-latency divide/sqrt class."""
+    base = _common(rng)
+    base.update(num_kernels=rng.randint(3, 8), body_size=rng.randint(16, 40))
+    mix = _mix(
+        rng,
+        fp_add=rng.uniform(0.2, 0.35),
+        fp_mul=rng.uniform(0.15, 0.3),
+        fp_div=rng.uniform(0.01, 0.05),
+    )
+    return WorkloadProfile(name=name, mix=mix, fp_program=True, **base)
+
+
+def _tiny_loops(rng: random.Random, name: str) -> WorkloadProfile:
+    """Degenerate loop structure: bodies of a few instructions, trip
+    counts of 1-3, so structural overhead dominates the dynamic stream."""
+    base = _common(rng)
+    base.update(
+        num_kernels=rng.randint(2, 5),
+        body_size=rng.randint(2, 6),
+        trip_count=rng.randint(1, 3),
+    )
+    return WorkloadProfile(name=name, mix=_mix(rng), **base)
+
+
+def _wide_entropy(rng: random.Random, name: str) -> WorkloadProfile:
+    """Reuse-hostile values: maximum entropy, induction-variable operands
+    everywhere — the IRB should degrade gracefully to pure DIE timing."""
+    base = _common(rng)
+    base.update(
+        value_entropy=rng.choice((1024, 4096)),
+        induction_frac=rng.uniform(0.2, 0.3),
+        invariant_frac=rng.uniform(0.0, 0.1),
+        pure_frac=0.0,
+        fixed_load_frac=rng.uniform(0.0, 0.1),
+        num_kernels=rng.randint(4, 12),
+        body_size=rng.randint(12, 32),
+    )
+    return WorkloadProfile(name=name, mix=_mix(rng), **base)
+
+
+def _uniform_random(rng: random.Random, name: str) -> WorkloadProfile:
+    """No family bias: every field drawn from its full valid range."""
+    base = _common(rng)
+    base.update(
+        num_kernels=rng.randint(1, 48),
+        body_size=rng.randint(2, 48),
+    )
+    return WorkloadProfile(name=name, mix=_mix(rng), **base)
+
+
+#: Family name -> sampler.  Ordering is part of the seeded-sampling
+#: contract: reordering changes which profile a given case seed draws.
+FAMILIES: Dict[str, Callable[[random.Random, str], WorkloadProfile]] = {
+    "branch_dense": _branch_dense,
+    "store_heavy": _store_heavy,
+    "irb_alias": _irb_alias,
+    "chase_serial": _chase_serial,
+    "fp_dense": _fp_dense,
+    "tiny_loops": _tiny_loops,
+    "wide_entropy": _wide_entropy,
+    "uniform": _uniform_random,
+}
+
+_FAMILY_NAMES = tuple(FAMILIES)
+
+
+def sample_profile(case_seed: int) -> Tuple[str, WorkloadProfile]:
+    """Deterministically draw ``(family, profile)`` for one fuzz case."""
+    rng = random.Random(case_seed)
+    family = rng.choice(_FAMILY_NAMES)
+    name = f"fuzz-{family}-{case_seed:08x}"
+    return family, FAMILIES[family](rng, name)

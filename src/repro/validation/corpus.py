@@ -1,0 +1,145 @@
+"""Replayable fuzz corpus: program serialization and content-addressed keys.
+
+A divergent case is persisted as a ``<key>.fuzz.json`` side-car in the
+campaign result store (see :meth:`repro.campaign.ResultStore.put_fuzz`).
+The document embeds the *entire shrunk program image* — static
+instructions, data arrays, entry points, generator provenance — because
+fuzz programs are not named workloads: ``repro fuzz --replay <key>``
+must rebuild the exact program without re-running the generator.
+
+The key hashes only the replay *spec* (program, dynamic window, model
+set, synthetic-fault plan, code version); the recorded divergences are
+results and stay outside the hash, so re-checking a stored case after a
+code change lands on the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..campaign.keys import canonical
+from ..isa import Opcode, StaticInst
+from ..redundancy import Fault
+from ..workloads import DataArray, Program
+from .invariants import Divergence
+
+#: On-disk fuzz-document schema version.
+FUZZ_FORMAT = 1
+
+#: Salt mixed into every corpus key; bump when replay semantics change
+#: (program serialization, harness construction, invariant definitions).
+FUZZ_CODE_VERSION = "fuzz-v1"
+
+
+def program_to_dict(program: Program) -> Dict[str, Any]:
+    """Serialize a program image to a JSON-able document."""
+    return {
+        "name": program.name,
+        "seed": program.seed,
+        "entry": program.entry,
+        "loop_entry": program.loop_entry,
+        "insts": [
+            {
+                "pc": inst.pc,
+                "opcode": inst.opcode.name,
+                "dst": inst.dst,
+                "src1": inst.src1,
+                "src2": inst.src2,
+                "imm": inst.imm,
+                "target": inst.target,
+                "taken_prob": inst.taken_prob,
+            }
+            for inst in program.insts
+        ],
+        "arrays": [asdict(array) for array in program.arrays],
+    }
+
+
+def program_from_dict(document: Dict[str, Any]) -> Program:
+    """Rebuild the exact program image from :func:`program_to_dict` output."""
+    insts = [
+        StaticInst(
+            pc=row["pc"],
+            opcode=Opcode[row["opcode"]],
+            dst=row["dst"],
+            src1=row["src1"],
+            src2=row["src2"],
+            imm=row["imm"],
+            target=row["target"],
+            taken_prob=row["taken_prob"],
+        )
+        for row in document["insts"]
+    ]
+    arrays = [DataArray(**row) for row in document["arrays"]]
+    return Program(
+        name=document["name"],
+        insts=insts,
+        arrays=arrays,
+        entry=document["entry"],
+        loop_entry=document["loop_entry"],
+        seed=document["seed"],
+    )
+
+
+def case_spec(
+    program: Program,
+    n_insts: int,
+    models: Sequence[str],
+    faults: Optional[Dict[str, List[Fault]]] = None,
+) -> Dict[str, Any]:
+    """The replay spec hashed into the corpus key."""
+    spec: Dict[str, Any] = {
+        "program": program_to_dict(program),
+        "n_insts": n_insts,
+        "models": list(models),
+        "__code_version__": FUZZ_CODE_VERSION,
+    }
+    if faults:
+        spec["faults"] = {
+            model: [canonical(fault) for fault in plan]
+            for model, plan in sorted(faults.items())
+        }
+    return spec
+
+
+def fuzz_key(spec: Dict[str, Any]) -> str:
+    """Stable content hash of a replay spec."""
+    payload = json.dumps(canonical(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def case_document(
+    spec: Dict[str, Any],
+    divergences: Sequence[Divergence],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The full corpus document: replay spec plus recorded findings."""
+    return {
+        "format": FUZZ_FORMAT,
+        "key": fuzz_key(spec),
+        "spec": spec,
+        "divergences": [asdict(divergence) for divergence in divergences],
+        "meta": dict(meta or {}),
+    }
+
+
+def faults_from_spec(spec: Dict[str, Any]) -> Optional[Dict[str, List[Fault]]]:
+    """Rebuild the synthetic-fault plan recorded in a replay spec."""
+    recorded = spec.get("faults")
+    if not recorded:
+        return None
+    plans: Dict[str, List[Fault]] = {}
+    for model, rows in recorded.items():
+        plans[model] = [
+            Fault(
+                kind=row["kind"],
+                seq=row["seq"],
+                cycle=row["cycle"],
+                pc=row["pc"],
+            )
+            for row in rows
+        ]
+    return plans

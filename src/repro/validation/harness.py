@@ -1,0 +1,160 @@
+"""Differential run harness: one trace through every timing model.
+
+The harness owns pipeline construction (mirroring
+:func:`repro.simulation.simulate`) so it can do two things the public
+runner deliberately does not expose:
+
+* attach a :class:`CommitAuditor` tracer that records per-``(seq,
+  stream)`` fetch/commit counts and the primary-stream commit order, the
+  raw material for the commit-exactly-once and oracle-match invariants;
+* force ``fast_forward`` off on an already-constructed pipeline (the
+  determinism invariant re-runs a model with quiescent-cycle skipping
+  disabled *without* mutating the ``REPRO_NO_SKIP`` environment, which
+  is only read at construction time).
+
+Everything here is read-only with respect to the models: the harness
+never reaches into pipeline state, it only observes stats and events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import MachineConfig, SimStats
+from ..core.pipeline import DeadlockError
+from ..redundancy import FaultInjector
+from ..reuse import IRBConfig
+from ..simulation.runner import _IRB_MODELS, MODELS
+from ..telemetry.events import STAGE_COMMIT, STAGE_FETCH, InstEvent, Tracer
+from ..telemetry.record import TeeTracer
+from ..workloads import Trace
+
+#: Models whose commit path carries a redundant stream (never faster
+#: than the redundancy-free SIE baseline on the same trace).
+REDUNDANT_MODELS: Tuple[str, ...] = (
+    "die",
+    "die-irb",
+    "die-irb-fwd",
+    "die-vp",
+    "die-cluster-split",
+    "die-cluster-repl",
+    "srt",
+)
+
+#: DIE-family models that pair-check every architected instruction.
+PAIR_CHECKED_MODELS: Tuple[str, ...] = (
+    "die",
+    "die-irb",
+    "die-irb-fwd",
+    "die-vp",
+    "die-cluster-split",
+    "die-cluster-repl",
+)
+
+
+class CommitAuditor(Tracer):
+    """Counts lifecycle events the commit invariants reason about.
+
+    Observation only — attaching it never changes statistics (the
+    telemetry subsystem's pinned contract).
+    """
+
+    def __init__(self) -> None:
+        self.commits: Dict[Tuple[int, int], int] = {}
+        self.fetches: Dict[Tuple[int, int], int] = {}
+        #: Primary-stream commits in retirement order, as ``(seq, pc)``.
+        self.primary_order: List[Tuple[int, int]] = []
+
+    def emit(self, event: object) -> None:
+        if not isinstance(event, InstEvent):
+            return
+        key = (event.seq, event.stream)
+        if event.kind == STAGE_COMMIT:
+            self.commits[key] = self.commits.get(key, 0) + 1
+            if event.stream == 0:
+                self.primary_order.append((event.seq, event.pc))
+        elif event.kind == STAGE_FETCH:
+            self.fetches[key] = self.fetches.get(key, 0) + 1
+
+
+@dataclass
+class ModelRun:
+    """One model's outcome on one trace."""
+
+    model: str
+    stats: Optional[SimStats] = None
+    auditor: Optional[CommitAuditor] = None
+    error: str = ""
+    #: STREAMS declared by the pipeline class (1 for SIE, 2 for DIE/SRT).
+    streams: int = 1
+
+
+@dataclass
+class CaseResult:
+    """The full differential picture for one fuzz case."""
+
+    trace: Trace
+    runs: Dict[str, ModelRun] = field(default_factory=dict)
+
+
+def run_model(
+    trace: Trace,
+    model: str,
+    config: Optional[MachineConfig] = None,
+    irb_config: Optional[IRBConfig] = None,
+    audit: bool = True,
+    no_skip: bool = False,
+    tracer: Optional[Tracer] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> ModelRun:
+    """Run one timing model over ``trace``, catching deadlocks as data."""
+    cls = MODELS[model]
+    if model in _IRB_MODELS:
+        pipeline = cls(trace, config, irb_config)  # type: ignore[call-arg]
+    else:
+        pipeline = cls(trace, config)
+    if no_skip:
+        pipeline.fast_forward = False
+    auditor = CommitAuditor() if audit else None
+    sinks = [sink for sink in (auditor, tracer) if sink is not None]
+    if len(sinks) == 1:
+        pipeline.tracer = sinks[0]
+    elif sinks:
+        pipeline.tracer = TeeTracer(*sinks)
+    if fault_injector is not None:
+        pipeline.fault_injector = fault_injector
+    run = ModelRun(model=model, auditor=auditor, streams=cls.STREAMS)
+    pipeline.warm_up()
+    try:
+        run.stats = pipeline.run()
+    except DeadlockError as error:
+        run.error = str(error)
+    return run
+
+
+def run_case(
+    trace: Trace,
+    models: Sequence[str],
+    config: Optional[MachineConfig] = None,
+    irb_config: Optional[IRBConfig] = None,
+    fault_injectors: Optional[Dict[str, FaultInjector]] = None,
+) -> CaseResult:
+    """Run ``trace`` through every requested model with auditing on.
+
+    ``fault_injectors`` optionally attaches a fault plan to named models
+    — the fuzz engine's synthetic-divergence hook: the invariant suite
+    still treats the case as fault-free, so any mismatch the plan causes
+    surfaces as a divergence (used to exercise the shrinker end to end).
+    """
+    result = CaseResult(trace=trace)
+    for model in models:
+        injector = (fault_injectors or {}).get(model)
+        result.runs[model] = run_model(
+            trace,
+            model,
+            config=config,
+            irb_config=irb_config,
+            fault_injector=injector,
+        )
+    return result

@@ -1,0 +1,155 @@
+"""Delta-debugging minimizer for divergent fuzz programs.
+
+Given a program and a *reproduce* oracle (``(program, n_insts) -> bool``:
+does the original divergence still fire?), :func:`shrink_case` reduces in
+two phases:
+
+1. **Dynamic window** — halve the number of executed instructions while
+   the divergence survives.  Most timing divergences live in a short
+   prefix; this alone typically cuts re-check cost by an order of
+   magnitude before any structural surgery.
+2. **Static instructions** — greedy ddmin over the program image: try
+   deleting chunks of instructions (largest first, halving the chunk on
+   a full fruitless sweep), rebuilding a *valid* image after each cut.
+
+Rebuilding is the delicate part: PCs must stay dense (``pc == 4*index``
+is a ``Program`` construction invariant), so surviving instructions are
+re-addressed and every control-flow target is remapped to the next
+surviving instruction (wrapping to the image start).  A cut that yields
+an un-executable program — the oracle raising (executor walking off the
+image, a degenerate loop) — simply fails to reproduce and is rejected;
+the shrinker never needs to special-case validity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from ..workloads import Program
+from ..workloads.program import INST_BYTES
+
+#: Does the candidate still exhibit the original divergence?
+ReproduceFn = Callable[[Program, int], bool]
+
+#: Floor for dynamic-window halving; below this the executor cannot even
+#: complete the prologue of most generated programs.
+MIN_DYNAMIC_WINDOW = 8
+
+
+def rebuild(program: Program, keep: Sequence[int]) -> Optional[Program]:
+    """Rebuild ``program`` retaining only the instruction indices ``keep``.
+
+    Returns ``None`` when the cut cannot produce a well-formed image
+    (nothing kept, or construction fails).
+    """
+    kept = sorted(set(keep))
+    if not kept:
+        return None
+    new_pc = {program.insts[old].pc: index * INST_BYTES for index, old in enumerate(kept)}
+    kept_old_pcs = sorted(new_pc)
+
+    def remap(old_pc: int) -> int:
+        """Old PC -> new PC of the next surviving instruction (wrap to 0)."""
+        if old_pc in new_pc:
+            return new_pc[old_pc]
+        for survivor in kept_old_pcs:
+            if survivor > old_pc:
+                return new_pc[survivor]
+        return 0
+
+    insts = []
+    for index, old in enumerate(kept):
+        inst = program.insts[old]
+        target = remap(inst.target) if inst.target is not None else None
+        insts.append(
+            dataclasses.replace(inst, pc=index * INST_BYTES, target=target)
+        )
+    try:
+        return Program(
+            name=program.name,
+            insts=insts,
+            arrays=list(program.arrays),
+            entry=remap(program.entry),
+            loop_entry=remap(program.loop_entry),
+            seed=program.seed,
+        )
+    except ValueError:
+        return None
+
+
+def _safe_reproduce(
+    reproduce: ReproduceFn, program: Optional[Program], n_insts: int
+) -> bool:
+    """Reject invalid candidates instead of propagating their crashes."""
+    if program is None:
+        return False
+    try:
+        return reproduce(program, n_insts)
+    except Exception:
+        return False
+
+
+def shrink_dynamic(
+    program: Program, n_insts: int, reproduce: ReproduceFn
+) -> int:
+    """Phase 1: smallest power-of-two-ish dynamic window that reproduces."""
+    while n_insts // 2 >= MIN_DYNAMIC_WINDOW and _safe_reproduce(
+        reproduce, program, n_insts // 2
+    ):
+        n_insts //= 2
+    return n_insts
+
+
+def shrink_static(
+    program: Program, n_insts: int, reproduce: ReproduceFn
+) -> Program:
+    """Phase 2: greedy ddmin over static instructions."""
+    keep: List[int] = list(range(len(program.insts)))
+    chunk = max(1, len(keep) // 2)
+    while chunk >= 1:
+        index = 0
+        progressed = False
+        while index < len(keep):
+            candidate_keep = keep[:index] + keep[index + chunk:]
+            candidate = rebuild(program, candidate_keep)
+            if _safe_reproduce(reproduce, candidate, n_insts):
+                keep = candidate_keep
+                progressed = True
+            else:
+                index += chunk
+        if chunk > 1:
+            chunk //= 2
+        elif not progressed:
+            break  # a full fruitless sweep at single-instruction grain
+    result = rebuild(program, keep)
+    assert result is not None  # keep always reproduces, so it rebuilds
+    return result
+
+
+def shrink_case(
+    program: Program, n_insts: int, reproduce: ReproduceFn
+) -> "ShrinkResult":
+    """Run both phases; the input must already reproduce."""
+    small_n = shrink_dynamic(program, n_insts, reproduce)
+    small_program = shrink_static(program, small_n, reproduce)
+    return ShrinkResult(
+        program=small_program,
+        n_insts=small_n,
+        original_static=len(program.insts),
+        original_n_insts=n_insts,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """What the minimizer achieved."""
+
+    program: Program
+    n_insts: int
+    original_static: int
+    original_n_insts: int
+
+    @property
+    def static_insts(self) -> int:
+        return len(self.program.insts)

@@ -3,17 +3,82 @@
 Workload generation and simulation are deterministic, so traces and
 baseline results are built once per session and reused; individual tests
 must not mutate them.
+
+This file also owns the randomized-testing policy:
+
+* Hypothesis profiles — ``ci`` (deadline off, full example budget, used
+  whenever ``CI`` is set) and ``dev`` (small example budget for fast
+  local iteration).  Override locally with ``HYPOTHESIS_PROFILE=ci``.
+* Replay hints — when a randomized test fails, a ``replay`` section is
+  attached to the report with the exact one-line command that reproduces
+  it: fuzz-driven tests register ``repro fuzz --replay <key>`` through
+  the ``replay_hint`` fixture, and hypothesis tests get their node id
+  (the example database replays the stored counterexample).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.core import MachineConfig
 from repro.simulation import get_trace, simulate
 
 
 SMALL_N = 6_000
+
+hypothesis_settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)
+
+
+@pytest.fixture
+def replay_hint(request):
+    """Register the one-line replay command for a randomized test.
+
+    On failure the command is attached to the report as a ``replay``
+    section (see ``pytest_runtest_makereport``).
+    """
+
+    def _record(command: str) -> None:
+        request.node._replay_hint = command
+
+    return _record
+
+
+def _is_hypothesis_test(item) -> bool:
+    function = getattr(item, "obj", None)
+    return bool(getattr(function, "is_hypothesis_test", False))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    hint = getattr(item, "_replay_hint", None)
+    if hint is None and _is_hypothesis_test(item):
+        hint = (
+            f'PYTHONPATH=src python -m pytest "{item.nodeid}"'
+            "  # hypothesis replays the stored counterexample"
+        )
+    if hint:
+        report.sections.append(("replay", f"REPLAY: {hint}"))
 
 
 @pytest.fixture(scope="session")
