@@ -853,7 +853,7 @@ class OOOPipeline:
         tracer = self.tracer
         for inst in self.ruu:
             inst.squashed = True
-            if tracer:
+            if tracer is not NULL_TRACER:
                 trace = inst.trace
                 tracer.emit(
                     InstEvent(

@@ -155,7 +155,7 @@ class FaultInjector:
                 self.log.latent += 1
                 outcome = FAULT_LATENT
             tracer = self.tracer
-            if tracer:
+            if tracer is not NULL_TRACER:
                 tracer.emit(
                     FaultEvent(pipeline.cycle, fault.seq, fault.kind, outcome)
                 )
@@ -196,7 +196,7 @@ class FaultInjector:
             else:
                 self.log.latent += 1
             tracer = self.tracer
-            if tracer:
+            if tracer is not NULL_TRACER:
                 tracer.emit(
                     FaultEvent(
                         cycle,

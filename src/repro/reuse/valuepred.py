@@ -185,8 +185,10 @@ class DIEVPPipeline(DIEPipeline):
             self.stats.irb_reuse_hits += 1
             self._schedule(cycle + 1, "complete", duplicate)
         else:
-            # Wrong guess: fall back to the functional units.
-            duplicate.issued = False
+            # Wrong guess: fall back to the functional units.  Deliberately
+            # uncounted here — the duplicate re-enters the ALU path and is
+            # accounted by the ordinary issue/complete counters.
+            duplicate.issued = False  # simlint: disable=SL102
             duplicate.ready_cycle = cycle
             self._hook_on_ready(duplicate, cycle)
 

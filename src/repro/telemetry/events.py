@@ -1,18 +1,21 @@
 """Typed per-instruction lifecycle events and the :class:`Tracer` protocol.
 
 Every pipeline holds a ``tracer`` attribute whose default is the shared
-:data:`NULL_TRACER`.  The null tracer is *falsy*, so the hot loops in
-``core/pipeline.py`` pay exactly one falsy check per stage when tracing
-is off::
+:data:`NULL_TRACER`.  Hot loops in ``core/pipeline.py`` guard event
+construction with one *identity* check per stage (simlint rule SL103)::
 
     tracer = self.tracer
     ...
-    if tracer:
+    if tracer is not NULL_TRACER:
         tracer.emit(InstEvent(STAGE_ISSUE, cycle, ...))
 
-Event construction therefore happens only when a real (truthy) tracer is
-installed.  This module depends on nothing but ``repro.isa`` and the
-standard library, so the core can import it without cycles.
+The identity form is required because a custom tracer is free to define
+``__bool__`` (an aggregator that is falsy while empty would silently
+drop events under a truthiness guard), and ``is not`` compiles to a
+single pointer comparison anyway.  Event construction therefore happens
+only when a real tracer is installed.  This module depends on nothing
+but ``repro.isa`` and the standard library, so the core can import it
+without cycles.
 
 Event taxonomy (see ``docs/TELEMETRY.md``):
 

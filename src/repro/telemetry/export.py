@@ -59,7 +59,7 @@ class _Lifetime:
 
     __slots__ = ("seq", "stream", "pc", "opcode", "fu", "stages", "squashed")
 
-    def __init__(self, event: InstEvent):
+    def __init__(self, event: InstEvent) -> None:
         self.seq = event.seq
         self.stream = event.stream
         self.pc = event.pc

@@ -105,7 +105,7 @@ class Timeline:
     decimates to at most ``max_points`` for compact profiles.
     """
 
-    def __init__(self, stride: int = 1):
+    def __init__(self, stride: int = 1) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
         self.stride = stride
@@ -148,7 +148,7 @@ class Timeline:
 class MetricsCollector(Tracer):
     """Aggregates the event stream into histograms and timelines."""
 
-    def __init__(self, timeline_stride: int = 1):
+    def __init__(self, timeline_stride: int = 1) -> None:
         # Occupancy timelines.
         self.ruu_occupancy = Timeline(timeline_stride)
         self.lsq_occupancy = Timeline(timeline_stride)

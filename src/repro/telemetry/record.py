@@ -22,7 +22,7 @@ class RecordingTracer(Tracer):
     unaffected — telemetry never throttles the model).
     """
 
-    def __init__(self, limit: int = 2_000_000):
+    def __init__(self, limit: int = 2_000_000) -> None:
         self.events: List[Event] = []
         self.limit = limit
         self.dropped = 0
@@ -37,7 +37,7 @@ class RecordingTracer(Tracer):
 class TeeTracer(Tracer):
     """Forwards each event to every downstream tracer, in order."""
 
-    def __init__(self, *tracers: Tracer):
+    def __init__(self, *tracers: Tracer) -> None:
         self.tracers: Sequence[Tracer] = tuple(t for t in tracers if t)
 
     def emit(self, event: Event) -> None:

@@ -46,7 +46,7 @@ from ..campaign.store import stats_from_dict, stats_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from ..redundancy import FaultInjector
-from ..telemetry.events import DivergenceEvent, Tracer
+from ..telemetry.events import NULL_TRACER, DivergenceEvent, Tracer
 from .harness import (
     PAIR_CHECKED_MODELS,
     REDUNDANT_MODELS,
@@ -434,7 +434,7 @@ def check_case(
             exempted.append(divergence)
             continue
         active.append(divergence)
-        if tracer:
+        if tracer is not None and tracer is not NULL_TRACER:
             run = case.runs.get(divergence.model)
             cycle = run.stats.cycles if run is not None and run.stats else 0
             tracer.emit(

@@ -1,0 +1,8 @@
+"""SL100 known-bad: pragmas that suppress nothing."""
+
+
+def compute(values):
+    total = 0  # simlint: disable=SL001
+    for value in values:
+        total += value  # simlint: disable=SL002,SL005
+    return total

@@ -1,0 +1,7 @@
+"""SL100 known-good: the pragma absorbs a real SL001 finding."""
+
+import time
+
+
+def stamp():
+    return time.time()  # simlint: disable=SL001

@@ -1,0 +1,17 @@
+"""SL101 known-bad: a duplicate-stream value crosses into primary state.
+
+The flow is deliberately interprocedural *and* cross-module: the value
+is read from the duplicate here and stored into architectural state by
+a helper in ``sink.py`` — only whole-project taint propagation sees it.
+"""
+
+from .sink import commit_value
+
+
+class LeakyPipeline:
+    def _forward_from_duplicate(self, inst):
+        duplicate = inst.pair
+        if duplicate is None:
+            return
+        value = duplicate.result
+        commit_value(inst, value)

@@ -1,0 +1,5 @@
+"""Helper whose store is only a leak given its callers' taint."""
+
+
+def commit_value(inst, value):
+    inst.result = value

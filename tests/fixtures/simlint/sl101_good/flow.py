@@ -1,0 +1,22 @@
+"""SL101 known-good: the duplicate's value is only *compared*.
+
+Observation via comparison is the checker's job (and SL004's concern);
+no duplicate-derived value is ever stored into primary state, so the
+taint engine must stay silent.
+"""
+
+from .sink import commit_value
+
+
+class CheckedPipeline:
+    def _check_against_duplicate(self, inst):
+        duplicate = inst.pair
+        if duplicate is None:
+            return False
+        agree = duplicate.result == inst.result
+        if agree:
+            commit_value(inst, self._recompute(inst))
+        return agree
+
+    def _recompute(self, inst):
+        return inst.trace.value

@@ -1,0 +1,5 @@
+"""Same helper as the bad twin; harmless with untainted callers."""
+
+
+def commit_value(inst, value):
+    inst.result = value

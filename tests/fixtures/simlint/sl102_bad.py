@@ -1,0 +1,20 @@
+"""SL102 known-bad: one arm counts, the sibling arm accounts nothing."""
+
+
+class ToyStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class LossyPipeline:
+    def __init__(self):
+        self.stats = ToyStats()
+
+    def _hook_lookup(self, inst):
+        if inst.hit:
+            self.stats.hits += 1
+        else:
+            self._replay(inst)
+
+    def _replay(self, inst):
+        inst.issued = False

@@ -1,0 +1,30 @@
+"""SL102 known-good: counter pair, transitive accounting, raise arm."""
+
+
+class ToyStats:
+    hits: int = 0
+    misses: int = 0
+    replays: int = 0
+
+
+class CountingPipeline:
+    def __init__(self):
+        self.stats = ToyStats()
+
+    def _hook_lookup(self, inst):
+        if inst.hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+
+    def _hook_dispatch(self, inst):
+        if inst.ready:
+            self.stats.hits += 1
+        elif inst.poisoned:
+            raise ValueError("poisoned instruction")
+        else:
+            self._replay(inst)
+
+    def _replay(self, inst):
+        # Accounts transitively: the arm calling this is covered.
+        self.stats.replays += 1

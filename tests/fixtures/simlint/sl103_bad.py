@@ -1,0 +1,14 @@
+"""SL103 known-bad: truthiness-guarded and unguarded emit sites."""
+
+
+class NoisyStage:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def tick_truthy(self, event):
+        tracer = self.tracer
+        if tracer:
+            tracer.emit(event)
+
+    def tick_unguarded(self, event):
+        self.tracer.emit(event)

@@ -1,0 +1,25 @@
+"""SL103 known-good: the three blessed identity-guard idioms."""
+
+NULL_TRACER = object()
+
+
+class QuietStage:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def tick_direct(self, event):
+        tracer = self.tracer
+        if tracer is not NULL_TRACER:
+            tracer.emit(event)
+
+    def tick_alias(self, event):
+        tracer = self.tracer
+        tracing = tracer is not NULL_TRACER
+        if tracing:
+            tracer.emit(event)
+
+    def tick_early_exit(self, event):
+        tracer = self.tracer
+        if tracer is NULL_TRACER:
+            return
+        tracer.emit(event)

@@ -1,0 +1,12 @@
+"""Harness lists consistent with the registry."""
+
+REDUNDANT_MODELS = ("dup",)
+PAIR_CHECKED_MODELS = ("dup",)
+
+
+def run_model(trace, model):
+    return model
+
+
+def smoke():
+    return run_model([], "base")

@@ -10,5 +10,5 @@ def sanctioned_wall_clock():
 
 
 def sanctioned_many(acc=[]):  # simlint: disable
-    acc.append(random.random())  # simlint: disable=SL001,SL005
+    acc.append(random.random())  # simlint: disable=SL001
     return acc

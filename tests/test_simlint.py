@@ -7,6 +7,7 @@ self-check coverage.  Fixtures live under ``tests/fixtures/simlint``.
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 
@@ -14,14 +15,28 @@ import pytest
 
 from tools.simlint import run_paths
 from tools.simlint.cli import main as cli_main
+from tools.simlint.engine import run_analysis
 from tools.simlint.framework import all_rules, get_rule, parse_suppressions
-from tools.simlint.reporters import render_json, render_text
+from tools.simlint.reporters import render_json, render_sarif, render_text
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURES = os.path.join(REPO_ROOT, "tests", "fixtures", "simlint")
 SRC = os.path.join(REPO_ROOT, "src", "repro")
 
-RULE_IDS = ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007")
+RULE_IDS = (
+    "SL001",
+    "SL002",
+    "SL003",
+    "SL004",
+    "SL005",
+    "SL006",
+    "SL007",
+    "SL100",
+    "SL101",
+    "SL102",
+    "SL103",
+    "SL104",
+)
 
 
 def fixture(name: str) -> str:
@@ -216,6 +231,201 @@ class TestCLI:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "clean" in result.stdout
+
+
+class TestSemanticLayer:
+    """Units for the module graph, call graph and taint engine."""
+
+    def _summaries(self, *paths):
+        from tools.simlint.semantic import summarize_module
+
+        out = {}
+        for path in paths:
+            with open(path) as handle:
+                summary = summarize_module(path, handle.read())
+            out[summary.module] = summary
+        return out
+
+    def test_module_name_for_path(self):
+        from tools.simlint.semantic import module_name_for_path
+
+        assert module_name_for_path("src/repro/core/pipeline.py") == (
+            "repro.core.pipeline"
+        )
+        assert module_name_for_path("src/repro/reuse/__init__.py") == "repro.reuse"
+
+    def test_module_graph_edges(self):
+        from tools.simlint.semantic import ModuleGraph
+
+        summaries = self._summaries(
+            os.path.join(SRC, "redundancy", "die.py"),
+            os.path.join(SRC, "redundancy", "checker.py"),
+        )
+        graph = ModuleGraph.build(
+            [(s.path, s.module, s.imports) for s in summaries.values()]
+        )
+        # `from .checker import CommitChecker` → a project edge.
+        assert "repro.redundancy.checker" in graph.imports["repro.redundancy.die"]
+        assert "repro.redundancy.die" in graph.importers_of(
+            "repro.redundancy.checker"
+        )
+
+    def test_call_graph_resolves_inherited_hooks(self):
+        from tools.simlint.semantic import CallGraph
+
+        summaries = self._summaries(
+            os.path.join(SRC, "core", "pipeline.py"),
+            os.path.join(SRC, "redundancy", "die.py"),
+            os.path.join(SRC, "redundancy", "checker.py"),
+        )
+        graph = CallGraph(summaries)
+        die = ("repro.redundancy.die", "DIEPipeline")
+        assert graph.inherited_int_attr(die, "STREAMS") == 2
+        fn = graph.functions["repro.redundancy.die.DIEPipeline._hook_commit"]
+        resolved = {
+            callee.qualname
+            for call in fn.calls
+            for callee in graph.resolve_call(fn, call)
+        }
+        # checker = self.checker; checker.check(...) resolves through the
+        # attribute-type of the same-named alias.
+        assert "repro.redundancy.checker.CommitChecker.check" in resolved
+        # self._retire resolves to the base-class definition.
+        assert "repro.core.pipeline.OOOPipeline._retire" in resolved
+
+    def test_taint_witness_spans_modules(self):
+        hits = run_paths([fixture("sl101_bad")], ["SL101"])
+        assert len(hits) == 1
+        witness = hits[0].witness
+        assert witness, "SL101 finding must carry a witness path"
+        assert "source" in witness[0][2]
+        assert "sink" in witness[-1][2]
+        files = {os.path.basename(path) for path, _, _ in witness}
+        assert files == {"flow.py", "sink.py"}, "witness must cross modules"
+
+    def test_summary_serialization_roundtrip(self):
+        from tools.simlint.semantic import ModuleSummary, summarize_module
+
+        path = os.path.join(SRC, "reuse", "die_irb.py")
+        with open(path) as handle:
+            summary = summarize_module(path, handle.read())
+        obj = summary.to_obj()
+        assert json.loads(json.dumps(obj)) == obj, "facts must be JSON-safe"
+        assert ModuleSummary.from_obj(obj).to_obj() == obj
+
+
+class TestIncrementalCache:
+    """Warm runs re-analyze only edited modules, byte-identically."""
+
+    def _tree(self, tmp_path):
+        tree = tmp_path / "tree"
+        shutil.copytree(fixture("sl101_bad"), tree)
+        return str(tree)
+
+    def test_warm_run_is_fully_cached(self, tmp_path):
+        tree, cache = self._tree(tmp_path), str(tmp_path / "cache")
+        cold = run_analysis([tree], cache_dir=cache)
+        warm = run_analysis([tree], cache_dir=cache)
+        assert cold.analyzed == 2 and cold.cached == 0
+        assert warm.analyzed == 0 and warm.cached == 2
+        assert [v.to_dict() for v in warm.violations] == [
+            v.to_dict() for v in cold.violations
+        ]
+
+    def test_edit_invalidates_only_the_edited_module(self, tmp_path):
+        tree, cache = self._tree(tmp_path), str(tmp_path / "cache")
+        cold = run_analysis([tree], cache_dir=cache)
+        flow = os.path.join(tree, "flow.py")
+        with open(flow) as handle:
+            source = handle.read()
+        with open(flow, "w") as handle:
+            handle.write(source + "\n# touched\n")
+        warm = run_analysis([tree], cache_dir=cache)
+        assert warm.analyzed == 1 and warm.cached == 1
+        assert [v.to_dict() for v in warm.violations] == [
+            v.to_dict() for v in cold.violations
+        ]
+
+    def test_fix_clears_the_finding_on_a_warm_run(self, tmp_path):
+        tree, cache = self._tree(tmp_path), str(tmp_path / "cache")
+        assert run_analysis([tree], cache_dir=cache).violations
+        flow = os.path.join(tree, "flow.py")
+        with open(flow) as handle:
+            source = handle.read()
+        # Stop reading the duplicate: the taint source disappears.
+        with open(flow, "w") as handle:
+            handle.write(source.replace("inst.pair", "inst.shadow"))
+        warm = run_analysis([tree], cache_dir=cache)
+        assert warm.analyzed == 1
+        assert warm.violations == []
+
+
+class TestParallelAnalysis:
+    def test_jobs_output_byte_identical_to_serial(self):
+        serial = run_analysis([FIXTURES])
+        parallel = run_analysis([FIXTURES], jobs=2)
+        assert [v.to_dict() for v in parallel.violations] == [
+            v.to_dict() for v in serial.violations
+        ]
+        assert [v.to_dict() for v in parallel.exempted] == [
+            v.to_dict() for v in serial.exempted
+        ]
+
+
+class TestExplainAndSarif:
+    def test_explain_prints_interprocedural_witness(self, capsys):
+        code = cli_main([fixture("sl101_bad"), "--explain", "SL101"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "source: inst.pair" in out
+        assert "sink: inst.result = value" in out
+        assert "passed to" in out
+
+    @pytest.mark.parametrize("rule_id", ("SL102", "SL103", "SL104"))
+    def test_explain_has_witness_for_every_semantic_rule(self, rule_id, capsys):
+        stem = rule_id.lower()
+        bad = fixture(f"{stem}_bad")
+        if not os.path.isdir(bad):
+            bad += ".py"
+        assert cli_main([bad, "--explain", rule_id]) == 1
+        out = capsys.readouterr().out
+        # At least one indented witness hop under a finding line.
+        assert "\n    " in out
+
+    def test_sarif_document_shape(self):
+        violations = run_paths([fixture("sl101_bad")], ["SL101"])
+        doc = json.loads(render_sarif(violations))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(RULE_IDS) <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "SL101"
+        assert result["codeFlows"][0]["threadFlows"][0]["locations"]
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("sink.py")
+
+
+class TestExemptionRegistry:
+    def test_registered_channels_cover_the_irb_delivery(self):
+        from tools.simlint.exemptions import SANCTIONED_CHANNELS
+
+        names = {channel.qualname for channel in SANCTIONED_CHANNELS}
+        assert "CommitChecker.check" in names
+        assert "DIEIRBPipeline._reuse_complete" in names
+        for channel in SANCTIONED_CHANNELS:
+            assert channel.rationale
+
+    def test_exempted_findings_are_reported_separately(self):
+        result = run_analysis([os.path.join(SRC, "telemetry", "record.py")])
+        assert result.violations == []
+        assert {v.rule_id for v in result.exempted} == {"SL103"}
+        assert len(result.exempted) == 2
+
+    def test_every_exemption_entry_is_live(self):
+        result = run_analysis([SRC])
+        assert result.unused_exemptions == []
 
 
 class TestCampaignSubsystem:

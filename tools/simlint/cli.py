@@ -1,6 +1,16 @@
 """Command-line front end: ``python -m tools.simlint [paths...]``.
 
-Exit status: 0 clean, 1 findings, 2 usage/parse error.
+Exit status: 0 clean, 1 findings (or stale exemption-registry entries),
+2 usage/parse error.
+
+Engine options:
+
+* ``--jobs N``        — fan the parse/analysis passes over N processes;
+  output is byte-identical to a serial run.
+* ``--cache-dir DIR`` — memoize per-module facts and findings on disk;
+  warm runs re-analyze only edited modules (progress on stderr).
+* ``--explain SLxxx`` — after the run, print the rule's full rationale
+  and each of its findings with the complete witness path.
 """
 
 from __future__ import annotations
@@ -10,14 +20,18 @@ import os
 import sys
 from typing import List, Optional
 
-from .framework import all_rules, run_paths
+from .engine import EngineResult, run_analysis
+from .framework import all_rules, get_rule
 from .reporters import REPORTERS, render_rule_list
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.simlint",
-        description="AST-based invariant analysis for the simulator source.",
+        description=(
+            "Project-wide semantic analysis for the simulator source "
+            "(syntactic SL0xx rules plus interprocedural SL1xx rules)."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -42,7 +56,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analysis processes (0 = one per CPU; default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="incremental cache directory (warm runs re-analyze only edits)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="SLxxx",
+        help="explain one rule: rationale plus witness path per finding",
+    )
     return parser
+
+
+def _explain(rule_id: str, result: EngineResult) -> str:
+    rule = get_rule(rule_id)
+    doc_module = sys.modules.get(type(rule).__module__)
+    rationale = (doc_module.__doc__ or rule.summary or "").strip()
+    lines = [f"{rule.id} — {rule.summary}", "", rationale, ""]
+    hits = [v for v in result.violations if v.rule_id == rule_id]
+    exempt = [v for v in result.exempted if v.rule_id == rule_id]
+    if not hits and not exempt:
+        lines.append(f"No {rule_id} findings in the analyzed tree.")
+    for violation in hits:
+        lines.append(violation.render_witness())
+        lines.append("")
+    for violation in exempt:
+        lines.append(f"[exempted by registry] {violation.render_witness()}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -56,19 +107,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         if options.rules
         else None
     )
+    jobs = options.jobs if options.jobs > 0 else (os.cpu_count() or 1)
     try:
-        violations = run_paths(options.paths, rule_ids)
+        result = run_analysis(
+            options.paths,
+            rule_ids=rule_ids,
+            jobs=jobs,
+            cache_dir=options.cache_dir,
+        )
     except (FileNotFoundError, KeyError, SyntaxError) as error:
         print(f"simlint: error: {error}", file=sys.stderr)
         return 2
+    if options.cache_dir:
+        print(
+            f"simlint: analyzed {result.analyzed} module(s), "
+            f"{result.cached} from cache",
+            file=sys.stderr,
+        )
+    if result.exempted and options.format == "text":
+        print(
+            f"simlint: {len(result.exempted)} finding(s) exempted by the "
+            f"registry (tools/simlint/exemptions.py)",
+            file=sys.stderr,
+        )
+    for exemption in result.unused_exemptions:
+        print(
+            f"simlint: stale exemption: {exemption.rule_id} "
+            f"{exemption.path_suffix} ({exemption.message_contains!r}) "
+            f"matches nothing — remove it from the registry",
+            file=sys.stderr,
+        )
     try:
-        print(REPORTERS[options.format](violations))
+        if options.explain:
+            print(_explain(options.explain, result))
+        else:
+            print(REPORTERS[options.format](result.violations))
     except BrokenPipeError:
         # Downstream consumer (e.g. ``| head``) closed the pipe; the
         # findings still determine the exit status.  Point stdout at
         # devnull so the interpreter's shutdown flush stays quiet.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 1 if violations else 0
+    return 1 if (result.violations or result.unused_exemptions) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

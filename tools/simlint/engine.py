@@ -1,0 +1,313 @@
+"""The analysis engine: incremental, parallel, two-pass.
+
+Pass A (facts) parses each module once and extracts a serialisable fact
+base — the :class:`~.semantic.summary.ModuleSummary` consumed by the
+SL1xx semantic rules plus the cross-module syntax facts (dataclass
+shapes, attribute write-set) the SL0xx rules need.  Facts are memoized
+on disk keyed by ``(ENGINE_VERSION, file sha256)``; a warm run re-parses
+only edited files.
+
+Pass B (syntactic rules) re-parses only modules whose cached findings
+are stale.  A module's findings are keyed by its own content hash *and*
+a digest of every module's cross-module-visible facts, so an edit that
+changes a dataclass shape correctly invalidates the findings of modules
+that reference it, while an edit to a function body does not.
+
+Semantic rules always run — they consume only the (cached) summaries,
+never an AST, so recomputing them is cheap and keeps the cache trivially
+sound.  Findings are cached *pre*-suppression: pragma filtering and the
+unused-suppression rule (SL100) run at the engine level every time, so
+warm results are byte-identical to cold ones.
+
+Parallelism (``jobs > 1``) fans both passes out over a process pool;
+results are merged in deterministic path order, so parallel output is
+byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .exemptions import Exemption, SANCTIONED_CHANNELS, split_exempt
+from .framework import ALL, Rule, RuleViolation, all_rules, get_rule
+from .project import (
+    ModuleInfo,
+    ProjectIndex,
+    _expand,
+    collect_syntax_facts,
+    syntax_shape_obj,
+)
+from .semantic.cache import AnalysisCache, file_digest, obj_digest
+from .semantic.callgraph import CallGraph
+from .semantic.modgraph import ModuleGraph
+from .semantic.summary import ModuleSummary, PragmaInfo, summarize_module
+
+SL100 = "SL100"
+
+
+@dataclass
+class SemanticContext:
+    """Everything a :class:`~.framework.SemanticRule` may consume."""
+
+    summaries: Dict[str, ModuleSummary]  # dotted module name -> summary
+    graph: CallGraph
+    modgraph: ModuleGraph
+    sanctioned: Tuple[str, ...] = ()
+
+    def summary_for_path(self, path: str) -> Optional[ModuleSummary]:
+        for summary in self.summaries.values():
+            if summary.path == path:
+                return summary
+        return None
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one analysis run."""
+
+    violations: List[RuleViolation]
+    exempted: List[RuleViolation] = field(default_factory=list)
+    unused_exemptions: List[Exemption] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    analyzed: int = 0  # modules whose facts were (re)computed
+    cached: int = 0  # modules served entirely from the facts cache
+
+
+# -- process-pool workers (module level so they pickle) ---------------------
+
+
+def _compute_facts(item: Tuple[str, str]) -> Tuple[str, Dict[str, Any]]:
+    path, source = item
+    tree = ast.parse(source, filename=path)
+    summary = summarize_module(path, source, tree=tree)
+    return path, {
+        "summary": summary.to_obj(),
+        "syntax": collect_syntax_facts(path, tree),
+    }
+
+
+def _compute_syntactic(
+    args: Tuple[List[Tuple[str, str]], Dict[str, Dict[str, Any]], Tuple[str, ...]],
+) -> List[Tuple[str, List[Dict[str, Any]]]]:
+    chunk, syntax_facts, rule_ids = args
+    index = ProjectIndex.from_facts([], syntax_facts)
+    rules = [get_rule(rule_id) for rule_id in rule_ids]
+    out: List[Tuple[str, List[Dict[str, Any]]]] = []
+    for path, source in chunk:
+        module = ModuleInfo(path, source)
+        found: List[Dict[str, Any]] = []
+        for rule in rules:
+            found.extend(v.to_dict() for v in rule.check_module(module, index))
+        out.append((path, found))
+    return out
+
+
+def _chunked(items: List[Any], chunks: int) -> List[List[Any]]:
+    chunks = max(1, min(chunks, len(items)))
+    size = (len(items) + chunks - 1) // chunks
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# -- suppression accounting --------------------------------------------------
+
+
+class _PragmaLedger:
+    """Per-file suppression filter that records which pragma entries fire."""
+
+    def __init__(self, pragmas: Sequence[PragmaInfo]) -> None:
+        self.pragmas = list(pragmas)
+        self.used: Set[Tuple[int, str]] = set()  # (pragma index, rule token)
+
+    def _match(self, idx: int, pragma: PragmaInfo, rule_id: str) -> bool:
+        token = None
+        if ALL in pragma.rules:
+            token = ALL
+        elif rule_id in pragma.rules:
+            token = rule_id
+        if token is None:
+            return False
+        self.used.add((idx, token))
+        return True
+
+    def suppresses(self, violation: RuleViolation) -> bool:
+        hit = False
+        for idx, pragma in enumerate(self.pragmas):
+            if pragma.kind == "disable-file":
+                hit = self._match(idx, pragma, violation.rule_id) or hit
+            elif pragma.line == violation.line:
+                hit = self._match(idx, pragma, violation.rule_id) or hit
+        return hit
+
+    def unused_findings(self, path: str) -> List[RuleViolation]:
+        out: List[RuleViolation] = []
+        for idx, pragma in enumerate(self.pragmas):
+            for token in pragma.rules:
+                if (idx, token) in self.used:
+                    continue
+                what = (
+                    "suppresses no finding of any rule"
+                    if token == ALL
+                    else f"suppresses no {token} finding"
+                )
+                scope = "file-wide " if pragma.kind == "disable-file" else ""
+                out.append(
+                    RuleViolation(
+                        path=path,
+                        line=pragma.line,
+                        col=0,
+                        rule_id=SL100,
+                        message=(
+                            f"unused {scope}suppression: this pragma {what}; "
+                            f"remove it or narrow the rule list"
+                        ),
+                    )
+                )
+        return out
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def run_analysis(
+    paths: Iterable[str],
+    rule_ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> EngineResult:
+    """Analyze ``paths`` and return deterministic, sorted findings."""
+    files = _expand(paths)
+    cache = AnalysisCache(cache_dir)
+    sources: Dict[str, str] = {}
+    digests: Dict[str, str] = {}
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[path] = handle.read()
+        digests[path] = file_digest(sources[path])
+
+    # -- pass A: per-module facts (cached by content hash) ---------------
+    facts: Dict[str, Dict[str, Any]] = {}
+    misses: List[str] = []
+    for path in files:
+        hit = cache.get_facts(path, digests[path])
+        if hit is not None:
+            facts[path] = hit
+        else:
+            misses.append(path)
+    if misses:
+        items = [(path, sources[path]) for path in misses]
+        if jobs > 1 and len(items) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(_compute_facts, items))
+        else:
+            computed = [_compute_facts(item) for item in items]
+        for path, obj in computed:
+            facts[path] = obj
+            cache.put_facts(path, digests[path], obj)
+
+    summaries: Dict[str, ModuleSummary] = {}
+    for path in files:
+        summary = ModuleSummary.from_obj(facts[path]["summary"])
+        summaries[summary.module] = summary
+
+    # -- rule selection --------------------------------------------------
+    selected = [get_rule(rule_id) for rule_id in rule_ids] if rule_ids else all_rules()
+    want_sl100 = any(r.id == SL100 for r in selected)
+    # SL100 (unused suppression) is only meaningful against the findings
+    # of *every* rule: a pragma is "used" if any rule it names would have
+    # fired.  So a selection that includes SL100 computes the full set
+    # and filters the report afterwards.
+    rules = all_rules() if want_sl100 else selected
+    selected_ids = {r.id for r in selected}
+    syntactic = [r for r in rules if not r.semantic]
+    semantic = [r for r in rules if r.semantic and r.id != SL100]
+    syntactic_ids = tuple(sorted(r.id for r in syntactic))
+
+    # -- pass B: syntactic findings (cached by content + shape digest) ---
+    syntax_facts = {path: facts[path]["syntax"] for path in files}
+    facts_digest = obj_digest(
+        {
+            "shapes": {p: syntax_shape_obj(f) for p, f in syntax_facts.items()},
+            "rules": list(syntactic_ids),
+        }
+    )
+    raw_by_path: Dict[str, List[RuleViolation]] = {}
+    stale: List[str] = []
+    for path in files:
+        rec = cache.get_violations(path, digests[path], facts_digest)
+        if rec is not None:
+            raw_by_path[path] = [RuleViolation.from_dict(d) for d in rec]
+        else:
+            stale.append(path)
+    if stale and syntactic_ids:
+        items2 = [(path, sources[path]) for path in stale]
+        if jobs > 1 and len(items2) > 1:
+            chunks = _chunked(items2, jobs)
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                parts = list(
+                    pool.map(
+                        _compute_syntactic,
+                        [(chunk, syntax_facts, syntactic_ids) for chunk in chunks],
+                    )
+                )
+            results = [pair for part in parts for pair in part]
+        else:
+            results = _compute_syntactic((items2, syntax_facts, syntactic_ids))
+        for path, dicts in results:
+            raw_by_path[path] = [RuleViolation.from_dict(d) for d in dicts]
+            cache.put_violations(path, digests[path], facts_digest, dicts)
+    else:
+        for path in stale:
+            raw_by_path[path] = []
+
+    # -- semantic rules (always recomputed from summaries) ---------------
+    context = SemanticContext(
+        summaries=summaries,
+        graph=CallGraph(summaries),
+        modgraph=ModuleGraph.build(
+            [(s.path, s.module, s.imports) for s in summaries.values()]
+        ),
+        sanctioned=tuple(c.qualname for c in SANCTIONED_CHANNELS),
+    )
+    for rule in semantic:
+        for violation in rule.check_project(context):
+            raw_by_path.setdefault(violation.path, []).append(violation)
+
+    # -- suppression filtering + SL100 ----------------------------------
+    pragmas_by_path: Dict[str, List[PragmaInfo]] = {
+        summary.path: summary.pragmas for summary in summaries.values()
+    }
+    filtered: List[RuleViolation] = []
+    for path in sorted(raw_by_path):
+        ledger = _PragmaLedger(pragmas_by_path.get(path, []))
+        for violation in raw_by_path[path]:
+            if not ledger.suppresses(violation):
+                filtered.append(violation)
+        if want_sl100:
+            for finding in ledger.unused_findings(path):
+                # SL100 findings honour suppression too (a pragma line may
+                # carry its own ``disable=SL100``); usage of that marker is
+                # deliberately not re-counted — one pass, no fixpoint.
+                if not ledger.suppresses(finding):
+                    filtered.append(finding)
+
+    filtered = [v for v in filtered if v.rule_id in selected_ids]
+    kept, exempted, unused = split_exempt(filtered, files)
+    if rule_ids is not None:
+        # A subset run cannot prove a registry entry stale.
+        unused = []
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    exempted.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    cache.prune(files)
+    cache.save()
+    return EngineResult(
+        violations=kept,
+        exempted=exempted,
+        unused_exemptions=unused,
+        files=files,
+        analyzed=len(misses),
+        cached=len(files) - len(misses),
+    )

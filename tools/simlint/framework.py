@@ -16,41 +16,88 @@ Suppression:
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from .project import ModuleInfo, ProjectIndex
+from .semantic.summary import SUPPRESS_RE as _SUPPRESS_RE
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*simlint:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?"
-)
+if TYPE_CHECKING:
+    from .engine import SemanticContext
 
 #: Sentinel rule-set meaning "every rule".
 ALL = "*"
 
+#: One hop of a witness path: (path, line, note).
+WitnessHop = Tuple[str, int, str]
+
 
 @dataclass(frozen=True)
 class RuleViolation:
-    """One finding: where, which rule, and what went wrong."""
+    """One finding: where, which rule, and what went wrong.
+
+    Semantic (SL1xx) findings additionally carry a ``witness`` — the
+    chain of (path, line, note) hops that produced the finding, e.g. a
+    taint path from a ``.pair`` read down to the offending store.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    witness: Tuple[WitnessHop, ...] = ()
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
 
+    def render_witness(self) -> str:
+        lines = [self.render()]
+        for hop_path, hop_line, note in self.witness:
+            lines.append(f"    {hop_path}:{hop_line}: {note}")
+        return "\n".join(lines)
+
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
         }
+        if self.witness:
+            out["witness"] = [
+                {"path": p, "line": ln, "note": note}
+                for p, ln, note in self.witness
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "RuleViolation":
+        return cls(
+            path=obj["path"],
+            line=int(obj["line"]),
+            col=int(obj["col"]),
+            rule_id=obj["rule"],
+            message=obj["message"],
+            witness=tuple(
+                (hop["path"], int(hop["line"]), hop["note"])
+                for hop in obj.get("witness", ())
+            ),
+        )
 
 
 class Rule:
@@ -58,6 +105,8 @@ class Rule:
 
     id: str = "SL000"
     summary: str = ""
+    #: Semantic rules run once over the whole project, not per module.
+    semantic: bool = False
 
     def check_module(
         self, module: ModuleInfo, index: ProjectIndex
@@ -65,7 +114,7 @@ class Rule:
         raise NotImplementedError
 
     def violation(
-        self, module: ModuleInfo, node, message: str
+        self, module: ModuleInfo, node: ast.AST, message: str
     ) -> RuleViolation:
         """Build a violation anchored at an AST node."""
         return RuleViolation(
@@ -75,6 +124,25 @@ class Rule:
             rule_id=self.id,
             message=message,
         )
+
+
+class SemanticRule(Rule):
+    """Base class for the SL1xx project-wide rules.
+
+    Semantic rules consume the summarised fact base (call graph, module
+    summaries) via :class:`~.engine.SemanticContext` and therefore work
+    identically from cold parses and from the warm cache.
+    """
+
+    semantic = True
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex
+    ) -> Iterator[RuleViolation]:
+        return iter(())
+
+    def check_project(self, context: "SemanticContext") -> Iterator[RuleViolation]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -147,6 +215,18 @@ def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
     return supp
 
 
+def suppressions_from_pragmas(pragmas: Iterable) -> Suppressions:
+    """Build per-file suppression state from summarised pragma facts."""
+    supp = Suppressions()
+    for pragma in pragmas:
+        rules = set(pragma.rules)
+        if pragma.kind == "disable-file":
+            supp.file_wide |= rules
+        else:
+            supp.by_line.setdefault(pragma.line, set()).update(rules)
+    return supp
+
+
 def run_paths(
     paths: Iterable[str],
     rule_ids: Optional[Sequence[str]] = None,
@@ -154,19 +234,9 @@ def run_paths(
     """Analyze ``paths`` (files or directories) with the selected rules.
 
     Returns all unsuppressed violations sorted by (path, line, col, rule).
+    Thin wrapper over :func:`.engine.run_analysis` (serial, uncached),
+    kept for API compatibility with simlint v1 callers.
     """
-    index = ProjectIndex.build(paths)
-    rules = (
-        [get_rule(rule_id) for rule_id in rule_ids]
-        if rule_ids
-        else all_rules()
-    )
-    violations: List[RuleViolation] = []
-    for module in index.modules:
-        supp = parse_suppressions(module.source_lines)
-        for rule in rules:
-            for violation in rule.check_module(module, index):
-                if not supp.is_suppressed(violation.rule_id, violation.line):
-                    violations.append(violation)
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return violations
+    from .engine import run_analysis
+
+    return run_analysis(paths, rule_ids=rule_ids).violations

@@ -31,8 +31,82 @@ def render_json(violations: Sequence[RuleViolation]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_sarif(violations: Sequence[RuleViolation]) -> str:
+    """SARIF 2.1.0 document for GitHub code scanning.
+
+    Witness paths map onto ``codeFlows`` so code-scanning UIs render the
+    full source→sink chain for semantic (SL1xx) findings.
+    """
+    from .framework import all_rules
+
+    rules_meta = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "helpUri": "docs/ANALYSIS.md#" + rule.id.lower(),
+        }
+        for rule in all_rules()
+    ]
+    results = []
+    for violation in violations:
+        result = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [_sarif_location(violation.path, violation.line, violation.col)],
+        }
+        if violation.witness:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        **_sarif_location(path, line, 0),
+                                        "message": {"text": note},
+                                    }
+                                }
+                                for path, line, note in violation.witness
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_location(path: str, line: int, col: int) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(line, 1), "startColumn": col + 1},
+        }
+    }
+
+
 def render_rule_list(rules: Sequence[Rule]) -> str:
     return "\n".join(f"{rule.id}  {rule.summary}" for rule in rules)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -8,4 +8,9 @@ from . import (  # noqa: F401
     sl005_frozen,
     sl006_output,
     sl007_decode,
+    sl100_suppressions,
+    sl101_sor_taint,
+    sl102_stats_paths,
+    sl103_tracer_guard,
+    sl104_registration,
 )

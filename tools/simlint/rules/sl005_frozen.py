@@ -88,7 +88,7 @@ class FrozenStateRule(Rule):
             )
 
     def _check_mutable_defaults(
-        self, module: ModuleInfo, node
+        self, module: ModuleInfo, node: "ast.FunctionDef | ast.AsyncFunctionDef"
     ) -> Iterator[RuleViolation]:
         args = node.args
         for default in [*args.defaults, *(d for d in args.kw_defaults if d)]:

@@ -49,7 +49,7 @@ class _FunctionBodyCalls(ast.NodeVisitor):
         self.hits: list = []  # (call node, innermost function name)
         self._stack: list = []
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
         self._stack.append(node.name)
         self.generic_visit(node)
         self._stack.pop()

@@ -1,0 +1,38 @@
+"""SL100 — a suppression pragma that suppresses nothing is a finding.
+
+``# simlint: disable=SLxxx`` pragmas are load-bearing review artifacts:
+each one says "a human looked at this finding and accepted it".  When
+the underlying code is fixed or the rule stops firing, a stale pragma
+keeps asserting an exemption that no longer exists — and silently
+swallows any *future* finding of that rule on the same line.
+
+The detection itself lives in the engine's suppression ledger (it needs
+the exact set of findings each pragma absorbed, which only the engine
+sees after filtering both syntactic and semantic findings); this class
+gives the rule its identity in the registry, ``--list-rules`` and
+``--explain`` output.
+
+Per-entry accounting: ``# simlint: disable=SL001,SL005`` where only
+SL001 ever fires yields an SL100 finding for the SL005 entry alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..framework import RuleViolation, SemanticRule, register
+
+if TYPE_CHECKING:
+    from ..engine import SemanticContext
+
+
+@register
+class UnusedSuppressionRule(SemanticRule):
+    id = "SL100"
+    summary = "suppression pragma that suppresses no finding"
+
+    #: Computed inside the engine's pragma ledger, not via check_project.
+    engine_computed = True
+
+    def check_project(self, context: "SemanticContext") -> Iterator[RuleViolation]:
+        return iter(())

@@ -1,0 +1,48 @@
+"""SL101 — Sphere-of-Replication taint: duplicate-stream values must not
+reach primary-stream architectural state outside a sanctioned channel.
+
+The paper's correctness argument (Section 2) requires that the two
+execution streams stay independent up to the commit-time checker: if a
+duplicate's computed value ever feeds the primary stream's architectural
+state (``inst.result`` / ``inst.mem_addr``) before the check, a fault in
+the duplicate silently corrupts the very state the redundancy was meant
+to protect.
+
+SL004 polices this syntactically (who may *observe* ``.pair``); SL101
+verifies it interprocedurally: values obtained from ``.pair`` reads or
+IRB entries are tainted at their source and propagated through calls,
+returns and attribute reads across the whole project.  A taint tag
+reaching a ``.result``/``.mem_addr`` store outside a channel registered
+in :data:`~..exemptions.SANCTIONED_CHANNELS` is a finding, and each
+finding carries the full witness path (``--explain SL101``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..framework import RuleViolation, SemanticRule, register
+from ..semantic.taint import TaintEngine
+
+if TYPE_CHECKING:
+    from ..engine import SemanticContext
+
+
+@register
+class SoRTaintRule(SemanticRule):
+    id = "SL101"
+    summary = "duplicate-stream value reaches primary state outside the checker"
+
+    def check_project(self, context: SemanticContext) -> Iterator[RuleViolation]:
+        engine = TaintEngine(context.graph, context.sanctioned)
+        for finding in engine.run():
+            yield RuleViolation(
+                path=finding.path,
+                line=finding.line,
+                col=0,
+                rule_id=self.id,
+                message=f"{finding.describe()} [in {finding.function}]",
+                witness=tuple(
+                    (step.path, step.line, step.note) for step in finding.witness
+                ),
+            )

@@ -1,0 +1,119 @@
+"""SL102 — stats path-completeness in pipeline-stage code.
+
+The nine timing models are compared counter-by-counter (the fuzz
+campaign diffs whole stats bundles), so a counter that is bumped on one
+arm of a branch while a sibling arm accounts *nothing* is a classic
+silent-undercount: the event happened, took a different path, and left
+no trace.  The canonical correct shape is the counter pair::
+
+    if hit:
+        stats.irb_hits += 1      # fine: sibling accounts a counter too
+    else:
+        stats.irb_misses += 1
+
+while the bug shape is::
+
+    if hit:
+        stats.irb_hits += 1      # SL102: the else arm is unaccounted
+    else:
+        self._replay(inst)
+
+Accounting is transitive — an arm whose callee bumps a counter counts —
+via the call graph's per-function counter summaries.  Only complete
+chains (with an ``else``) inside pipeline-model classes are considered;
+``raise``-terminated arms are error paths and exempt.  A deliberately
+uncounted arm is annotated with ``# simlint: disable=SL102`` on the
+branch header line.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Set
+
+from ..framework import RuleViolation, SemanticRule, register
+from ..semantic.summary import ArmSummary, FunctionSummary
+
+if TYPE_CHECKING:
+    from ..engine import SemanticContext
+
+
+@register
+class StatsPathRule(SemanticRule):
+    id = "SL102"
+    summary = "counter incremented on one branch arm, sibling arm unaccounted"
+
+    def _arm_counters(
+        self, context: SemanticContext, fn: FunctionSummary, arm: ArmSummary
+    ) -> Set[str]:
+        counters: Set[str] = {inc.counter for inc in arm.stat_incs}
+        for idx in arm.call_indices:
+            if idx >= len(fn.calls):
+                continue
+            for callee in context.graph.resolve_call(fn, fn.calls[idx]):
+                counters |= context.graph.transitive_counters(callee.qualname)
+        return counters
+
+    def check_project(self, context: SemanticContext) -> Iterator[RuleViolation]:
+        graph = context.graph
+        for fn in graph.all_functions():
+            key = graph.owning_class(fn)
+            if key is None:
+                continue
+            # Only pipeline-model classes: the stats discipline being
+            # enforced is the per-stage accounting the campaign diffs.
+            if (
+                graph.inherited_int_attr(key, "STREAMS") is None
+                and not key[1].endswith("Pipeline")
+            ):
+                continue
+            path = graph.path_of(fn)
+            for branch in fn.branches:
+                if not branch.has_else or len(branch.arms) < 2:
+                    continue
+                accounted = [
+                    (arm, self._arm_counters(context, fn, arm))
+                    for arm in branch.arms
+                ]
+                counting = [
+                    (arm, counters)
+                    for arm, counters in accounted
+                    if {inc.counter for inc in arm.stat_incs}
+                ]
+                if not counting:
+                    continue
+                example_arm, example = counting[0]
+                example_counter = sorted(
+                    inc.counter for inc in example_arm.stat_incs
+                )[0]
+                for arm, counters in accounted:
+                    if counters or arm.terminator == "raise":
+                        continue
+                    yield RuleViolation(
+                        path=path,
+                        line=arm.line,
+                        col=0,
+                        rule_id=self.id,
+                        message=(
+                            f"branch arm accounts no stats counter while the "
+                            f"sibling arm at line {example_arm.line} increments "
+                            f"`{example_counter}`; count the event on this "
+                            f"path too or annotate the arm with "
+                            f"`# simlint: disable=SL102` [in {fn.qualname}]"
+                        ),
+                        witness=(
+                            (
+                                path,
+                                example_arm.line,
+                                f"sibling arm increments `{example_counter}` "
+                                f"(and {len(example) - 1} more)"
+                                if len(example) > 1
+                                else f"sibling arm increments `{example_counter}`",
+                            ),
+                            (
+                                path,
+                                arm.line,
+                                "this arm accounts nothing, directly or via "
+                                "any callee (transitive counter summary empty)",
+                            ),
+                        ),
+                    )

@@ -1,0 +1,76 @@
+"""SL103 — every telemetry emit must sit behind a NULL_TRACER identity guard.
+
+PR 3's benchmark gate bounds telemetry overhead at <3% when tracing is
+off; that number depends on disabled-path emit sites costing exactly one
+pointer comparison.  Two cheaper-looking idioms break the budget:
+
+* no guard at all — the event object is constructed and ``emit`` called
+  on the null tracer every cycle;
+* a truthiness guard (``if tracer:``) — this *looks* free but calls
+  ``NullTracer.__bool__`` through the descriptor machinery on every
+  evaluation, measurably slower than the identity test in the decode/
+  wakeup loops.
+
+The blessed idioms, all recognised interprocedurally from the function
+summaries:
+
+* ``if tracer is not NULL_TRACER: tracer.emit(...)``
+* ``tracing = tracer is not NULL_TRACER`` + ``if tracing: ...`` (alias)
+* early exit: ``if tracer is NULL_TRACER: return`` dominating the emit
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..framework import RuleViolation, SemanticRule, register
+
+if TYPE_CHECKING:
+    from ..engine import SemanticContext
+
+_MESSAGES = {
+    "truthiness": (
+        "telemetry emit guarded by truthiness (`if {receiver}:`), which "
+        "invokes NullTracer.__bool__ on the hot path; use the identity "
+        "idiom `{receiver} is not NULL_TRACER`"
+    ),
+    "none": (
+        "telemetry emit via `{receiver}` is not dominated by a "
+        "`NULL_TRACER` identity guard; the disabled-tracing path must "
+        "cost one pointer comparison, not an event construction"
+    ),
+}
+
+
+@register
+class TracerGuardRule(SemanticRule):
+    id = "SL103"
+    summary = "telemetry emit not dominated by a NULL_TRACER identity guard"
+
+    def check_project(self, context: SemanticContext) -> Iterator[RuleViolation]:
+        graph = context.graph
+        for fn in graph.all_functions():
+            path = graph.path_of(fn)
+            for emit in fn.emits:
+                if emit.guard == "identity":
+                    continue
+                template = _MESSAGES.get(emit.guard, _MESSAGES["none"])
+                guard_note = (
+                    "guard present but only truthiness"
+                    if emit.guard == "truthiness"
+                    else "no dominating guard found in this function"
+                )
+                yield RuleViolation(
+                    path=path,
+                    line=emit.line,
+                    col=0,
+                    rule_id=self.id,
+                    message=(
+                        template.format(receiver=emit.receiver)
+                        + f" [in {fn.qualname}]"
+                    ),
+                    witness=(
+                        (path, fn.line, f"enter {fn.qualname}: {guard_note}"),
+                        (path, emit.line, f"emit site via `{emit.receiver}`"),
+                    ),
+                )

@@ -1,0 +1,164 @@
+"""Content-hash keyed on-disk cache for the analysis engine.
+
+Layout (inside ``--cache-dir``)::
+
+    <cache-dir>/
+        simlint-cache.json      # single JSON document, atomic rewrite
+
+Two record kinds, both keyed by repo-relative path:
+
+* ``facts``      — the serialised :class:`~.summary.ModuleSummary`,
+  valid while ``(ENGINE_VERSION, file sha256)`` match;
+* ``violations`` — pre-suppression *syntactic* rule findings for the
+  module, valid while ``(ENGINE_VERSION, file sha256, facts_digest)``
+  match.  ``facts_digest`` hashes the cross-module inputs the syntactic
+  rules consume (dataclass shapes, attribute writes), so editing one
+  module invalidates another module's cached findings only when the
+  edit changes facts the other module can observe.
+
+Semantic (SL1xx) rules are always recomputed from the cached summaries —
+they are cheap once parsing is amortised, and recomputing keeps the
+cache sound without modelling every cross-module dependency.
+
+Suppression filtering happens *after* the cache (violations are cached
+pre-suppression) so unused-pragma detection (SL100) stays exact on warm
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+ENGINE_VERSION = "2.0.0"
+_CACHE_BASENAME = "simlint-cache.json"
+
+
+def file_digest(content: str) -> str:
+    """Stable digest of one module's source text."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+
+def obj_digest(obj: Any) -> str:
+    """Stable digest of a JSON-serialisable object."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Load-once / save-once JSON cache with per-module records."""
+
+    def __init__(self, cache_dir: Optional[str]) -> None:
+        self.cache_dir = cache_dir
+        self.enabled = cache_dir is not None
+        self._data: Dict[str, Any] = {"engine": ENGINE_VERSION, "modules": {}}
+        self.facts_hits = 0
+        self.facts_misses = 0
+        self._dirty = False
+        if self.enabled:
+            self._load()
+
+    @property
+    def _path(self) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, _CACHE_BASENAME)
+
+    def _load(self) -> None:
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("engine") != ENGINE_VERSION:
+            return  # engine changed: start cold
+        modules = data.get("modules")
+        if isinstance(modules, dict):
+            self._data = {"engine": ENGINE_VERSION, "modules": modules}
+
+    # -- facts records ---------------------------------------------------
+
+    def get_facts(self, path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """Cached ModuleSummary object for ``path`` at ``digest``."""
+        if not self.enabled:
+            self.facts_misses += 1
+            return None
+        record = self._data["modules"].get(path)
+        if record and record.get("digest") == digest and "facts" in record:
+            self.facts_hits += 1
+            return record["facts"]
+        self.facts_misses += 1
+        return None
+
+    def put_facts(self, path: str, digest: str, facts: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        record = self._data["modules"].setdefault(path, {})
+        if record.get("digest") != digest:
+            # Content changed: any dependent violation record is stale.
+            record.pop("violations", None)
+            record.pop("facts_digest", None)
+        record["digest"] = digest
+        record["facts"] = facts
+        self._dirty = True
+
+    # -- syntactic-violation records -------------------------------------
+
+    def get_violations(
+        self, path: str, digest: str, facts_digest: str
+    ) -> Optional[List[Dict[str, Any]]]:
+        if not self.enabled:
+            return None
+        record = self._data["modules"].get(path)
+        if (
+            record
+            and record.get("digest") == digest
+            and record.get("facts_digest") == facts_digest
+            and isinstance(record.get("violations"), list)
+        ):
+            return record["violations"]
+        return None
+
+    def put_violations(
+        self, path: str, digest: str, facts_digest: str, violations: List[Dict[str, Any]]
+    ) -> None:
+        if not self.enabled:
+            return
+        record = self._data["modules"].setdefault(path, {})
+        record["digest"] = digest
+        record["facts_digest"] = facts_digest
+        record["violations"] = violations
+        self._dirty = True
+
+    # -- persistence -----------------------------------------------------
+
+    def prune(self, live_paths: List[str]) -> None:
+        """Drop records for files no longer in the analyzed set."""
+        if not self.enabled:
+            return
+        live = set(live_paths)
+        modules = self._data["modules"]
+        stale = [path for path in modules if path not in live]
+        for path in stale:
+            del modules[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self.enabled or not self._dirty:
+            return
+        assert self.cache_dir is not None
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic replace so a crashed run never leaves a torn cache.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._data, handle, sort_keys=True)
+            os.replace(tmp, self._path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = False

@@ -1,0 +1,142 @@
+"""File ↔ dotted-module mapping and the project import graph.
+
+The analyzed tree is usually ``src/repro`` (a ``src``-layout package),
+but fixtures and ad-hoc directories must work too, so the mapping is
+purely path-derived: strip a leading ``src/`` component, drop the ``.py``
+suffix and any trailing ``__init__``, and join the rest with dots.  Two
+files in the same analysis run therefore never collide unless they are
+genuinely the same module.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path`` (repo-relative or absolute)."""
+    norm = os.path.normpath(path)
+    parts = list(norm.split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    # Strip everything up to and including a ``src`` component, plus any
+    # leading path noise (absolute prefixes, ``..``): keep the longest
+    # tail that looks like an identifier chain.
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    tail: List[str] = []
+    for part in reversed(parts):
+        if part.isidentifier():
+            tail.append(part)
+        else:
+            break
+    return ".".join(reversed(tail)) or (parts[-1] if parts else "")
+
+
+def resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Resolve ``from <level dots><target> import ...`` seen in ``module``.
+
+    ``module`` is the importing module's dotted name; a package's
+    ``__init__`` has already been collapsed to the package name, so one
+    level means "the containing package of this module".
+    """
+    parts = module.split(".")
+    base = parts[: len(parts) - level] if level <= len(parts) else []
+    if target:
+        base.append(target)
+    return ".".join(base)
+
+
+class ModuleGraph:
+    """Import relationships between analyzed modules.
+
+    Only intra-project edges are kept: imports that resolve to a module
+    outside the analyzed set (stdlib, numpy, ...) are recorded in
+    ``external`` but contribute no edge.
+    """
+
+    def __init__(self) -> None:
+        self.path_of: Dict[str, str] = {}  # module -> path
+        self.module_of: Dict[str, str] = {}  # path -> module
+        self.imports: Dict[str, Set[str]] = {}  # module -> imported modules
+        self.external: Dict[str, Set[str]] = {}  # module -> external imports
+
+    def add_module(self, path: str, module: str) -> None:
+        self.path_of[module] = path
+        self.module_of[path] = module
+        self.imports.setdefault(module, set())
+        self.external.setdefault(module, set())
+
+    def add_import(self, importer: str, imported: str) -> None:
+        """Record an import edge; classified once all modules are known."""
+        self.imports.setdefault(importer, set()).add(imported)
+
+    def finalize(self) -> None:
+        """Split recorded imports into project edges and external names.
+
+        ``from pkg import name`` records ``pkg.name`` which may denote a
+        module *or* a symbol in ``pkg``; an unknown dotted name whose
+        prefix is a known module is attributed to that module.
+        """
+        known = set(self.path_of)
+        for importer, targets in self.imports.items():
+            resolved: Set[str] = set()
+            for target in targets:
+                hit = self._project_prefix(target, known)
+                if hit is not None:
+                    resolved.add(hit)
+                else:
+                    self.external.setdefault(importer, set()).add(target)
+            self.imports[importer] = resolved
+
+    @staticmethod
+    def _project_prefix(dotted: str, known: Set[str]) -> Optional[str]:
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in known:
+                return candidate
+        return None
+
+    # -- queries --------------------------------------------------------
+
+    def importers_of(self, module: str) -> Set[str]:
+        return {m for m, targets in self.imports.items() if module in targets}
+
+    def topological(self) -> List[str]:
+        """Modules in a deterministic dependency-ish order (cycles broken
+        alphabetically)."""
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(module: str, stack: Tuple[str, ...]) -> None:
+            if module in seen or module in stack:
+                return
+            for dep in sorted(self.imports.get(module, ())):
+                visit(dep, stack + (module,))
+            seen.add(module)
+            order.append(module)
+
+        for module in sorted(self.path_of):
+            visit(module, ())
+        return order
+
+    @classmethod
+    def build(cls, modules: Iterable[Tuple[str, str, Dict[str, str]]]) -> "ModuleGraph":
+        """Build from ``(path, module, import_map)`` triples.
+
+        ``import_map`` maps local alias -> dotted target, as extracted by
+        :func:`..summary.summarize_module`.
+        """
+        graph = cls()
+        triples = list(modules)
+        for path, module, _ in triples:
+            graph.add_module(path, module)
+        for _, module, import_map in triples:
+            for target in import_map.values():
+                graph.add_import(module, target)
+        graph.finalize()
+        return graph
