@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from ..core import MachineConfig, SimStats
 from ..redundancy import Fault
 from ..reuse import IRBConfig
+from ..sampling.plan import SamplingPlan
 from ..simulation.runner import MODELS
 
 #: Provenance source values.
@@ -37,6 +38,11 @@ class Job:
         faults: planned transient faults, in injection order.
         warmup: functionally warm caches/predictor before timing.
         max_cycles: deadlock-guard override for the run.
+        sampling: sampled-simulation plan; ``None`` (the default) runs
+            the cycle core over the whole trace.  Mutually exclusive
+            with ``faults``: fault plans address absolute trace
+            positions and their architectural effects propagate past
+            region boundaries, which sampling cannot reconstruct.
     """
 
     workload: str
@@ -48,6 +54,7 @@ class Job:
     faults: Tuple[Fault, ...] = ()
     warmup: bool = True
     max_cycles: Optional[int] = None
+    sampling: Optional[SamplingPlan] = None
 
     def __post_init__(self) -> None:
         if self.model not in MODELS:
@@ -60,6 +67,11 @@ class Job:
             # Accept any iterable at construction; store a tuple so the
             # job stays hashable and content-addressable.
             object.__setattr__(self, "faults", tuple(self.faults))
+        if self.sampling is not None and self.faults:
+            raise ValueError(
+                "faults and sampling are mutually exclusive: fault effects "
+                "propagate past region boundaries (docs/SAMPLING.md)"
+            )
 
     @property
     def trace_key(self) -> Tuple[str, int, int]:

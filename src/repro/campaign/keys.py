@@ -51,6 +51,12 @@ def canonical(value: Any) -> Any:
 def job_spec(job: Job) -> dict:
     """The canonical spec dict hashed into the key (also stored as provenance)."""
     spec = canonical(job)
+    # A full (unsampled) run's spec omits the sampling field entirely, so
+    # keys minted before the field existed keep resolving; any non-None
+    # plan is hashed in full, so a sampled result can never collide with
+    # a full run or with a differently-parameterized sampled run.
+    if spec.get("sampling") is None:
+        spec.pop("sampling", None)
     spec["__code_version__"] = CODE_VERSION
     return spec
 

@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..core import MachineConfig, SimStats
 from ..core.decoded import decode_trace
 from ..redundancy import FaultInjector
+from ..sampling.plan import SamplingPlan
 from ..simulation.runner import get_trace, simulate
 from .jobs import SOURCE_RUN, SOURCE_STORE, Job, JobResult, Provenance
 from .keys import CODE_VERSION, job_key
@@ -49,6 +50,19 @@ _Group = List[Tuple[int, Job]]
 def execute_job(job: Job) -> SimStats:
     """Run one job to completion in this process and return its statistics."""
     trace = get_trace(job.workload, job.n_insts, job.seed)
+    if job.sampling is not None:
+        from ..sampling import run_sampled
+
+        sampled = run_sampled(
+            trace,
+            job.sampling,
+            model=job.model,
+            config=job.config,
+            irb_config=job.irb_config,
+            max_cycles=job.max_cycles,
+            warmup=job.warmup,
+        )
+        return sampled.stats
     injector = FaultInjector(list(job.faults)) if job.faults else None
     result = simulate(
         trace,
@@ -65,9 +79,14 @@ def execute_job(job: Job) -> SimStats:
 def _prewarm_group(group: _Group) -> None:
     """Build the group's shared trace and decoded side-structure up front.
 
-    Both are memoized (``get_trace``'s LRU, ``Trace.derived``), so paying
-    for them here keeps one-time construction out of the first job's
-    reported wall time.
+    Everything here is memoized (``get_trace``'s LRU, ``Trace.derived``),
+    so paying for it now keeps one-time construction out of the first
+    job's reported wall time.  For sampled jobs the same applies one
+    level down: site selection is resolved per distinct plan and every
+    site's re-sequenced slice is decoded per line size — so two sampled
+    jobs differing only in model or machine configuration share one
+    selection pass, one slice ``Trace`` per site, and one
+    ``DecodedTrace`` per (slice, line size).
     """
     first = group[0][1]
     trace = get_trace(*first.trace_key)
@@ -77,6 +96,16 @@ def _prewarm_group(group: _Group) -> None:
     }
     for lb in line_bytes:
         decode_trace(trace, lb)
+    plans = {job.sampling for _, job in group if job.sampling is not None}
+    if plans:
+        from ..sampling import select_regions, site_trace
+
+        for plan in plans:
+            selection = select_regions(trace, plan)
+            for site in selection.sites:
+                slice_trace = site_trace(trace, site)
+                for lb in line_bytes:
+                    decode_trace(slice_trace, lb)
 
 
 def _run_group(group: _Group) -> List[Tuple[int, SimStats, float]]:
@@ -111,11 +140,18 @@ class CampaignOutcome:
 
 @dataclass
 class CampaignContext:
-    """Ambient campaign settings plus cross-call counters."""
+    """Ambient campaign settings plus cross-call counters.
+
+    ``sampling`` is a request, not a mandate: job builders that go
+    through the context (``experiments.common.run_apps``) apply the plan
+    to their plain cycle-simulation jobs, while jobs that sampling
+    cannot express (fault injection) ignore it.
+    """
 
     jobs_n: int = 1
     store: Optional[ResultStore] = None
     progress: Optional[ProgressFn] = None
+    sampling: Optional[SamplingPlan] = None
     executed: int = 0
     store_hits: int = 0
 
@@ -137,10 +173,13 @@ def campaign_context(
     jobs_n: int = 1,
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressFn] = None,
+    sampling: Optional[SamplingPlan] = None,
 ) -> Iterator[CampaignContext]:
     """Install an ambient context for nested ``run_campaign`` calls."""
     global _ACTIVE_CONTEXT
-    context = CampaignContext(jobs_n=jobs_n, store=store, progress=progress)
+    context = CampaignContext(
+        jobs_n=jobs_n, store=store, progress=progress, sampling=sampling
+    )
     previous = _ACTIVE_CONTEXT
     _ACTIVE_CONTEXT = context
     try:

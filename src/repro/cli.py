@@ -18,6 +18,11 @@ Commands:
   functional oracle plus every timing model, invariant-checked, with
   divergences shrunk into a replayable corpus
   (see ``docs/VALIDATION.md``).
+* ``sample report`` — phase map, chunk sites and extrapolation weights
+  for one workload; ``sample validate`` — sampled-vs-full error gate
+  (see ``docs/SAMPLING.md``).  ``run`` and ``campaign`` accept
+  ``--sample`` to estimate statistics from selected regions instead of
+  simulating whole traces.
 """
 
 from __future__ import annotations
@@ -32,8 +37,62 @@ from .campaign import ProgressPrinter, ResultStore, campaign_context
 from .core import MachineConfig
 from .experiments import EXPERIMENTS, get_experiment
 from .isa import FUClass
+from .sampling.plan import SamplingPlan
 from .simulation import MODELS, format_table, ipc_loss_pct, run_workload
 from .workloads import APP_NAMES
+
+
+def _add_sampling_args(
+    parser: argparse.ArgumentParser, toggle: bool = True
+) -> None:
+    """Install the sampled-simulation flags (defaults = plan defaults)."""
+    defaults = SamplingPlan()
+    group = parser.add_argument_group("sampled simulation (docs/SAMPLING.md)")
+    if toggle:
+        group.add_argument(
+            "--sample", action="store_true",
+            help="cycle-simulate selected regions only and extrapolate",
+        )
+    group.add_argument(
+        "--interval", type=int, default=defaults.interval, metavar="INSTS",
+        help=f"profiling interval length (default {defaults.interval})",
+    )
+    group.add_argument(
+        "--chunk", type=int, default=defaults.chunk, metavar="N",
+        help=f"measured intervals per chunk site (default {defaults.chunk})",
+    )
+    group.add_argument(
+        "--k", type=int, default=defaults.k, metavar="K",
+        help="fixed cluster count (default 0 = BIC choice + weight ensemble)",
+    )
+    group.add_argument(
+        "--warmup", type=int, default=defaults.warmup, metavar="INSTS",
+        help="functional warmup instructions before each site "
+             "(-1 = warm over the whole preceding trace, the default)",
+    )
+    group.add_argument(
+        "--budget", type=float, default=defaults.budget, metavar="FRAC",
+        help="max fraction of instructions cycle-simulated "
+             f"(default {defaults.budget})",
+    )
+    group.add_argument(
+        "--sample-seed", type=int, default=defaults.seed, metavar="SEED",
+        help=f"selection seed: projection, clustering (default {defaults.seed})",
+    )
+
+
+def _sampling_plan(args: argparse.Namespace) -> Optional[SamplingPlan]:
+    """The plan the flags describe, or ``None`` when ``--sample`` is off."""
+    if not getattr(args, "sample", True):
+        return None
+    return SamplingPlan(
+        interval=args.interval,
+        chunk=args.chunk,
+        k=args.k,
+        warmup=args.warmup,
+        budget=args.budget,
+        seed=args.sample_seed,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale-widths", type=int, default=1, metavar="K")
     run.add_argument("--no-warmup", action="store_true")
     run.add_argument("--json", action="store_true", help="emit raw statistics as JSON")
+    _add_sampling_args(run)
 
     compare = sub.add_parser("compare", help="SIE vs DIE vs DIE-IRB")
     compare.add_argument("workload", choices=APP_NAMES)
@@ -108,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--store-dir", default=None, metavar="DIR",
                        help="result-store root (default results/store)")
     trace.add_argument("--no-warmup", action="store_true")
+    _add_sampling_args(trace)
 
     prof = sub.add_parser("profile", help="run-profile tooling")
     prof_sub = prof.add_subparsers(dest="profile_command", required=True)
@@ -160,6 +221,59 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="empty the store before running")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress on stderr")
+    _add_sampling_args(camp)
+
+    sample = sub.add_parser(
+        "sample", help="sampled-simulation tooling (docs/SAMPLING.md)"
+    )
+    sample_sub = sample.add_subparsers(dest="sample_command", required=True)
+    sreport = sample_sub.add_parser(
+        "report", help="phase map, chunk sites and region weights"
+    )
+    sreport.add_argument("workload", choices=APP_NAMES)
+    sreport.add_argument("--n", type=int, default=40_000,
+                         help="dynamic instructions")
+    sreport.add_argument("--seed", type=int, default=1)
+    _add_sampling_args(sreport, toggle=False)
+    sreport.add_argument(
+        "--json", action="store_true",
+        help="emit the full selection (the phase-map artifact) as JSON",
+    )
+    svalidate = sample_sub.add_parser(
+        "validate",
+        help="sampled-vs-full error gate (non-zero exit on breach)",
+    )
+    svalidate.add_argument("--apps", default=None,
+                           help="comma-separated subset (default: all)")
+    svalidate.add_argument(
+        "--models", default="sie,die,die-irb",
+        help=f"comma-separated subset of: {', '.join(sorted(MODELS))}",
+    )
+    svalidate.add_argument("--n", type=int, default=40_000,
+                           help="dynamic instructions per run")
+    svalidate.add_argument("--seed", type=int, default=1)
+    _add_sampling_args(svalidate, toggle=False)
+    svalidate.add_argument(
+        "--max-geomean", type=float, default=0.03, metavar="FRAC",
+        help="per-model geomean IPC error gate (default 0.03)",
+    )
+    svalidate.add_argument(
+        "--max-worst", type=float, default=0.06, metavar="FRAC",
+        help="worst-pair IPC error gate (default 0.06)",
+    )
+    svalidate.add_argument(
+        "--min-reduction", type=float, default=5.0, metavar="X",
+        help="every app must cycle-simulate at least X times fewer "
+             "instructions than the full run (default 5)",
+    )
+    svalidate.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes (default 1 = serial)")
+    svalidate.add_argument("--store-dir", default=None, metavar="DIR",
+                           help="result-store root (default results/store)")
+    svalidate.add_argument("--no-store", action="store_true",
+                           help="neither read nor write the result store")
+    svalidate.add_argument("--json", action="store_true",
+                           help="emit the error matrix as JSON")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -211,21 +325,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = MachineConfig.baseline().scaled(
         alu=args.scale_alu, ruu=args.scale_ruu, widths=args.scale_widths
     )
-    result = run_workload(
-        args.workload,
-        model=args.model,
-        n_insts=args.n,
-        seed=args.seed,
-        config=config,
-        warmup=not args.no_warmup,
-    )
-    stats = result.stats
+    plan = _sampling_plan(args)
+    sampled = None
+    if plan is not None:
+        from .sampling import run_sampled
+        from .simulation import get_trace
+
+        trace = get_trace(args.workload, args.n, args.seed)
+        sampled = run_sampled(
+            trace,
+            plan,
+            model=args.model,
+            config=config,
+            warmup=not args.no_warmup,
+        )
+        stats = sampled.stats
+    else:
+        result = run_workload(
+            args.workload,
+            model=args.model,
+            n_insts=args.n,
+            seed=args.seed,
+            config=config,
+            warmup=not args.no_warmup,
+        )
+        stats = result.stats
     if args.json:
         import json
 
+        if sampled is not None:
+            selection = sampled.selection
+            payload = {
+                "stats": stats.to_dict(),
+                "sampling": {
+                    "plan": plan.to_dict(),
+                    "phases": len(set(selection.phase_of)),
+                    "regions": len(selection.regions),
+                    "sites": len(selection.sites),
+                    "simulated_insts": selection.simulated_insts,
+                    "coverage": selection.coverage,
+                },
+            }
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
         print(json.dumps(stats.to_dict(), indent=2, default=str))
         return 0
-    print(f"{args.workload} on {args.model.upper()} ({args.n} instructions)")
+    tag = "sampled, " if sampled is not None else ""
+    print(f"{args.workload} on {args.model.upper()} ({tag}{args.n} instructions)")
+    if sampled is not None:
+        selection = sampled.selection
+        print(
+            f"  simulated:        {selection.simulated_insts}/{args.n} "
+            f"instructions ({selection.coverage:.1%}) in "
+            f"{len(selection.sites)} sites / {len(selection.regions)} regions"
+        )
     print(f"  IPC:              {stats.ipc:.3f}")
     print(f"  cycles:           {stats.cycles}")
     print(f"  mispredict rate:  {stats.mispredict_rate:.3f}")
@@ -329,14 +482,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     recorder = RecordingTracer()
     collector = MetricsCollector()
-    result = run_workload(
-        args.workload,
-        model=args.model,
-        n_insts=args.n,
-        seed=args.seed,
-        warmup=not args.no_warmup,
-        tracer=TeeTracer(recorder, collector),
-    )
+    plan = _sampling_plan(args)
+    if plan is not None:
+        from .sampling import run_sampled
+        from .simulation import get_trace
+
+        result = run_sampled(
+            get_trace(args.workload, args.n, args.seed),
+            plan,
+            model=args.model,
+            warmup=not args.no_warmup,
+            tracer=TeeTracer(recorder, collector),
+        )
+    else:
+        result = run_workload(
+            args.workload,
+            model=args.model,
+            n_insts=args.n,
+            seed=args.seed,
+            warmup=not args.no_warmup,
+            tracer=TeeTracer(recorder, collector),
+        )
     meta = {
         "workload": args.workload,
         "model": args.model,
@@ -345,6 +511,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "cycles": result.stats.cycles,
         "ipc": result.stats.ipc,
     }
+    if plan is not None:
+        meta["sampling"] = plan.to_dict()
     document = chrome_trace(recorder.events, meta)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -471,8 +639,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"store cleared ({removed} entries)", file=sys.stderr)
     kwargs = _experiment_kwargs(args)
     progress = ProgressPrinter(enabled=not args.quiet)
+    plan = _sampling_plan(args)
+    if plan is not None:
+        print(
+            f"sampling: interval={plan.interval} chunk={plan.chunk} "
+            f"k={plan.k or 'auto'} budget={plan.budget:.0%}",
+            file=sys.stderr,
+        )
     with campaign_context(
-        jobs_n=args.jobs, store=store, progress=progress
+        jobs_n=args.jobs, store=store, progress=progress, sampling=plan
     ) as context:
         for experiment in experiments:
             result = experiment.run(**kwargs)
@@ -484,6 +659,205 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _render_phase_map(selection: "object") -> List[str]:
+    """The phase map as paired text rows: phase letters over site marks."""
+    phases = selection.phase_map()
+    measured = set()
+    padded = set()
+    for site in selection.sites:
+        first = site.start // selection.interval_length
+        last = (site.end - 1) // selection.interval_length
+        for index in range(first, last + 1):
+            (measured if index in site.measured else padded).add(index)
+    marks = "".join(
+        "^" if i in measured else "~" if i in padded else " "
+        for i in range(len(phases))
+    )
+    lines = []
+    width = 72
+    for offset in range(0, len(phases), width):
+        lines.append(f"  {offset:6d}  {phases[offset:offset + width]}")
+        mark_row = marks[offset:offset + width]
+        if mark_row.strip():
+            lines.append(f"          {mark_row}")
+    return lines
+
+
+def _cmd_sample_report(args: argparse.Namespace) -> int:
+    from .sampling import select_regions
+    from .simulation import get_trace
+
+    plan = _sampling_plan(args)
+    trace = get_trace(args.workload, args.n, args.seed)
+    selection = select_regions(trace, plan)
+    phases = len(set(selection.phase_of))
+    if args.json:
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "n_insts": args.n,
+            "seed": args.seed,
+            "plan": plan.to_dict(),
+            "interval_length": selection.interval_length,
+            "intervals": len(selection.phase_of),
+            "phases": phases,
+            "phase_of": list(selection.phase_of),
+            "fingerprints": list(selection.fingerprints),
+            "sites": [
+                {"start": s.start, "end": s.end, "measured": sorted(s.measured)}
+                for s in selection.sites
+            ],
+            "regions": [
+                {
+                    "index": r.index,
+                    "phase": r.phase,
+                    "start": r.start,
+                    "end": r.end,
+                    "weight": r.weight,
+                }
+                for r in selection.regions
+            ],
+            "simulated_insts": selection.simulated_insts,
+            "measured_insts": selection.measured_insts,
+            "coverage": selection.coverage,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{args.workload}: {args.n} instructions, "
+        f"{len(selection.phase_of)} intervals x {selection.interval_length}, "
+        f"{phases} phases"
+    )
+    print("phase map ('^' measured interval, '~' functional pad):")
+    for line in _render_phase_map(selection):
+        print(line)
+    print(
+        f"sites: {len(selection.sites)} "
+        f"({len(selection.regions)} measured regions); cycle core simulates "
+        f"{selection.simulated_insts}/{args.n} instructions "
+        f"({selection.coverage:.1%})"
+    )
+    rows = [
+        (
+            region.index,
+            chr(ord("A") + region.phase) if region.phase < 26 else "?",
+            f"{region.start}..{region.end}",
+            region.length,
+            f"{region.weight:.5f}",
+        )
+        for region in selection.regions
+    ]
+    print(
+        format_table(
+            ["interval", "phase", "insts", "len", "weight V_j"],
+            rows,
+            title="extrapolation weights (sum = 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_sample_validate(args: argparse.Namespace) -> int:
+    from .sampling import geomean_ipc_error, measure_errors
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"unknown models: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    apps = (
+        [a.strip() for a in args.apps.split(",") if a.strip()]
+        if args.apps
+        else list(APP_NAMES)
+    )
+    unknown = [a for a in apps if a not in APP_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    plan = _sampling_plan(args)
+    store: Optional[ResultStore] = None
+    if not args.no_store:
+        store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+    with campaign_context(jobs_n=args.jobs, store=store):
+        errors = measure_errors(apps, models, args.n, plan, seed=args.seed)
+
+    breaches: List[str] = []
+    per_model = {model: [e for e in errors if e.model == model] for model in models}
+    for model, model_errors in per_model.items():
+        geomean = geomean_ipc_error(model_errors)
+        worst = max(model_errors, key=lambda e: e.ipc_error)
+        if geomean > args.max_geomean:
+            breaches.append(
+                f"{model}: geomean IPC error {geomean:.2%} > {args.max_geomean:.2%}"
+            )
+        if worst.ipc_error > args.max_worst:
+            breaches.append(
+                f"{model}: {worst.workload} IPC error {worst.ipc_error:.2%} "
+                f"> {args.max_worst:.2%}"
+            )
+    for error in errors:
+        reduction = 1.0 / error.coverage if error.coverage else float("inf")
+        if reduction < args.min_reduction:
+            breaches.append(
+                f"{error.workload}: only {reduction:.1f}x fewer cycle-core "
+                f"instructions (< {args.min_reduction:.0f}x)"
+            )
+
+    if args.json:
+        import json
+
+        payload = {
+            "plan": plan.to_dict(),
+            "n_insts": args.n,
+            "seed": args.seed,
+            "errors": [e.to_dict() for e in errors],
+            "geomean_ipc_error": {
+                model: geomean_ipc_error(per_model[model]) for model in models
+            },
+            "breaches": breaches,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if breaches else 0
+
+    rows = [
+        (
+            e.workload,
+            e.model,
+            f"{e.full_ipc:.3f}",
+            f"{e.sampled_ipc:.3f}",
+            f"{e.ipc_error:.2%}",
+            f"{e.dup_bw_error:.3f}",
+            f"{e.coverage:.1%}",
+        )
+        for e in errors
+    ]
+    print(
+        format_table(
+            ["app", "model", "full IPC", "sampled", "IPC err", "dup-bw err",
+             "coverage"],
+            rows,
+            title=f"sampled vs full ({args.n} instructions)",
+        )
+    )
+    for model in models:
+        print(f"geomean IPC error [{model}]: {geomean_ipc_error(per_model[model]):.2%}")
+    if breaches:
+        for breach in breaches:
+            print(f"GATE BREACH: {breach}", file=sys.stderr)
+        return 1
+    print("all gates passed", file=sys.stderr)
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.sample_command == "report":
+        return _cmd_sample_report(args)
+    if args.sample_command == "validate":
+        return _cmd_sample_validate(args)
+    raise AssertionError(f"unhandled sample command {args.sample_command!r}")
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -612,6 +986,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "sample":
+        return _cmd_sample(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")

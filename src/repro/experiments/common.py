@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..campaign import Job, run_campaign
+from ..campaign import Job, current_context, run_campaign
 from ..core import MachineConfig
 from ..reuse import IRBConfig
 from ..simulation import RunResult, get_trace, ipc_loss_pct, simulate
@@ -82,6 +82,8 @@ def run_apps(
     with identical statistics.  Returned ``RunResult``s carry no live
     pipeline (stats only).
     """
+    context = current_context()
+    sampling = context.sampling if context is not None else None
     jobs: List[Job] = []
     labels: List[Tuple[str, str]] = []
     for app in apps:
@@ -94,6 +96,7 @@ def run_apps(
                     model=model,
                     config=config,
                     irb_config=irb_config,
+                    sampling=sampling,
                 )
             )
             labels.append((app, key))

@@ -1,0 +1,436 @@
+"""Sampled simulation: cycle core on chunk sites, then weighted
+extrapolation back to whole-program statistics.
+
+:func:`run_sampled` is the sampled counterpart of
+:func:`repro.simulation.runner.simulate`: same inputs plus a
+:class:`~repro.sampling.plan.SamplingPlan`, same ``SimStats``-shaped
+output.  Per site it materializes the re-sequenced site trace,
+functionally warms the pipeline (full-trace lap plus the prefix up to
+the site by default — zero cycle-core cost), runs the timing model over
+the site with a window tracer attached, and carves the site run into
+per-region measurements.  The whole-program estimate is then the
+``V_j``-weighted extrapolation of the per-region rates
+(:mod:`.regions`).
+
+Counter attribution inside a site (see ``docs/SAMPLING.md``):
+
+* **cycles** — the region's commit window, ``commit(last) -
+  commit(first) + 1``; pad intervals and pipeline drain fall outside
+  every window by construction.
+* **committed** — exact: a region commits exactly its architected
+  instructions.  Because the weights sum to 1, ``committed``
+  extrapolates to exactly the full trace length.
+* **fetched / dispatched / issued / fu_issued** — per-region
+  :class:`InstEvent` counts binned by architected ``seq`` (both streams,
+  matching how the full-run counters count DIE pairs twice).
+* **pairs_checked / check_mismatches** — :class:`CheckEvent` counts
+  binned by ``seq``.
+* **irb_*** — :class:`IRBEvent` counts binned by the region's commit
+  *cycle* window (the IRB observes pcs, not seqs).
+* **stalls, branches, mispredicts, recoveries, fu_busy_cycles** —
+  cycle-share: the site total scaled by the region's share of the site
+  run's cycles.  These are per-cycle phenomena with no per-event seq.
+* **faults never extrapolate** (:data:`SAMPLED_ONLY_FIELDS`).  Fault
+  plans address absolute trace positions and their architectural effects
+  propagate past region boundaries, so ``run_sampled`` takes no injector
+  and the campaign layer rejects jobs combining ``faults`` with
+  ``sampling``.
+
+Derived ratios (IPC, mispredict rate, IRB hit rates) need no policy of
+their own — they recompute from the extrapolated counters.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional
+
+from ..core import MachineConfig, SimStats
+from ..core.decoded import OP_META
+from ..isa import FUClass
+from ..reuse import IRBConfig
+from ..simulation.runner import _IRB_MODELS, MODELS
+from ..telemetry.events import (
+    IRB_LOOKUP,
+    IRB_PC_HIT,
+    IRB_PORT_STARVED,
+    IRB_REUSE_HIT,
+    IRB_WRITE,
+    IRB_WRITE_DROP,
+    NULL_TRACER,
+    STAGE_COMMIT,
+    CheckEvent,
+    Event,
+    InstEvent,
+    IRBEvent,
+    PhaseEvent,
+    Tracer,
+)
+from ..workloads import Trace
+from .plan import SamplingPlan
+from .regions import (
+    Region,
+    RegionSelection,
+    Site,
+    select_regions,
+    site_trace,
+    warmup_insts,
+)
+
+#: SimStats counters that are *sampled-only*: they stay zero in an
+#: extrapolated result because scaling them is not meaningful (see the
+#: module docstring on fault plans).
+SAMPLED_ONLY_FIELDS = ("faults_injected", "faults_detected")
+
+#: Counters attributed to a region by its share of the site's cycles
+#: (per-cycle phenomena without a per-event architected position).
+_CYCLE_SHARE_FIELDS = (
+    "fetch_stall_mispredict",
+    "fetch_stall_icache",
+    "dispatch_stall_ruu",
+    "dispatch_stall_lsq",
+    "branches",
+    "mispredicts",
+    "recoveries",
+)
+
+_IRB_FIELD_OF = {
+    IRB_LOOKUP: "irb_lookups",
+    IRB_PC_HIT: "irb_pc_hits",
+    IRB_REUSE_HIT: "irb_reuse_hits",
+    IRB_PORT_STARVED: "irb_port_starved",
+    IRB_WRITE: "irb_writes",
+    IRB_WRITE_DROP: "irb_write_drops",
+}
+
+
+class WindowTracer(Tracer):
+    """Collects the per-event stream of one site run for window carving.
+
+    Sites are a few hundred to a few thousand instructions, so the raw
+    event lists stay small; full runs never attach this tracer.
+    """
+
+    def __init__(self) -> None:
+        self.commit_cycle: Dict[int, int] = {}
+        self.stage_seqs: List[tuple] = []  # (kind, seq, fu)
+        self.checks: List[tuple] = []  # (seq, ok)
+        self.irb: List[tuple] = []  # (kind, cycle)
+
+    def emit(self, event: Event) -> None:
+        if isinstance(event, InstEvent):
+            if event.kind == STAGE_COMMIT and event.stream == 0:
+                self.commit_cycle[event.seq] = event.cycle
+            self.stage_seqs.append((event.kind, event.seq, event.fu))
+        elif isinstance(event, CheckEvent):
+            self.checks.append((event.seq, event.ok))
+        elif isinstance(event, IRBEvent):
+            self.irb.append((event.kind, event.cycle))
+
+
+class _WarmWalker:
+    """Incremental full-plus-prefix warmup shared across a run's sites.
+
+    The plan's default warmup (``warmup == -1``) trains each site's
+    structures on the full trace followed by the prefix up to the site.
+    Replaying that from scratch per site costs ``sites * O(trace)``
+    functional work; this walker replays the full lap once, then walks
+    the prefix forward site by site (sites are processed in trace
+    order), handing each pipeline a deep copy of the state.  The
+    training-op sequence each site observes is identical to the
+    monolithic replay — including cache-line-boundary continuity across
+    segments — so the measurements are bit-identical.
+    """
+
+    def __init__(self, trace: Trace, pipeline) -> None:
+        self._trace = trace
+        self._is_cold = trace.is_cold
+        self._line_bytes = pipeline.hier.l1i.config.line_bytes
+        self._hier = copy.deepcopy(pipeline.hier)
+        self._predictor = copy.deepcopy(pipeline.predictor)
+        self._btb = copy.deepcopy(pipeline.btb)
+        self._last_block: Optional[int] = None
+        self._position = 0
+        self._replay(trace.insts)  # the full-trace lap
+
+    def _replay(self, insts) -> None:
+        hier = self._hier
+        predictor = self._predictor
+        btb = self._btb
+        op_meta = OP_META
+        line_bytes = self._line_bytes
+        is_cold = self._is_cold
+        last_block = self._last_block
+        for inst in insts:
+            block = inst.pc // line_bytes
+            if block != last_block:
+                hier.fetch(inst.pc, 0)
+                last_block = block
+            dec = op_meta[inst.opcode]
+            if dec.mem and not is_cold(inst.mem_addr):
+                if dec.load:
+                    hier.load(inst.mem_addr, 0)
+                else:
+                    hier.store(inst.mem_addr, 0)
+            if dec.cond_branch:
+                predicted = predictor.predict(inst.pc)
+                predictor.update(inst.pc, inst.taken, predicted)
+                if inst.taken:
+                    btb.update(inst.pc, inst.next_pc)
+            elif dec.branch and not dec.is_ret:
+                btb.update(inst.pc, inst.next_pc)
+        self._last_block = last_block
+
+    def install(self, pipeline, site: Site) -> None:
+        """Advance to the site's start and warm-start ``pipeline``."""
+        if site.start < self._position:  # pragma: no cover - sites are ordered
+            raise ValueError("sites must be processed in trace order")
+        self._replay(self._trace.insts[self._position:site.start])
+        self._position = site.start
+        pipeline.hier = copy.deepcopy(self._hier)
+        pipeline.predictor = copy.deepcopy(self._predictor)
+        pipeline.btb = copy.deepcopy(self._btb)
+        pipeline.hier.reset_stats()
+        pipeline.predictor.reset_stats()
+        pipeline.btb.reset_stats()
+
+
+@dataclass
+class RegionResult:
+    """One region's raw (un-scaled) measurement carved from its site."""
+
+    region: Region
+    stats: SimStats
+
+
+@dataclass
+class SampledRunResult:
+    """Everything one sampled run produced.
+
+    ``stats`` is the extrapolated whole-program estimate;
+    ``region_results`` keep the raw per-region counters (trace-position
+    order) for error analysis and reporting.
+    """
+
+    model: str
+    workload: str
+    stats: SimStats
+    plan: SamplingPlan
+    selection: RegionSelection
+    region_results: List[RegionResult]
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def simulated_insts(self) -> int:
+        """Dynamic instructions the cycle core actually simulated."""
+        return self.selection.simulated_insts
+
+
+def _carve_site(
+    site: Site,
+    selection: RegionSelection,
+    site_stats: SimStats,
+    tracer: WindowTracer,
+) -> List[RegionResult]:
+    """Split one site run into per-region measurements."""
+    interval = selection.interval_length
+    regions = {r.index: r for r in selection.regions}
+    results: List[RegionResult] = []
+    site_cycles = max(1, site_stats.cycles)
+    final_cycle = site_stats.cycles
+
+    for index in site.measured:
+        region = regions[index]
+        first = region.start - site.start
+        last = region.end - 1 - site.start
+        # max_cycles truncation can leave tail instructions uncommitted;
+        # close the window at the run's final cycle in that case.
+        c0 = tracer.commit_cycle.get(first)
+        c1 = tracer.commit_cycle.get(last, final_cycle)
+        if c0 is None:
+            c0 = min(
+                (
+                    c
+                    for s, c in tracer.commit_cycle.items()
+                    if first <= s <= last
+                ),
+                default=final_cycle,
+            )
+        stats = SimStats()
+        stats.cycles = c1 - c0 + 1
+        stats.committed = region.length
+        for kind, seq, fu in tracer.stage_seqs:
+            if not (first <= seq <= last):
+                continue
+            if kind == "fetch":
+                stats.fetched += 1
+            elif kind == "dispatch":
+                stats.dispatched += 1
+            elif kind == "issue":
+                stats.issued += 1
+                stats.fu_issued[fu] = stats.fu_issued.get(fu, 0) + 1
+        for seq, ok in tracer.checks:
+            if first <= seq <= last:
+                stats.pairs_checked += 1
+                if not ok:
+                    stats.check_mismatches += 1
+        for kind, cycle in tracer.irb:
+            if c0 <= cycle <= c1:
+                field = _IRB_FIELD_OF.get(kind)
+                if field is not None:
+                    setattr(stats, field, getattr(stats, field) + 1)
+        share = stats.cycles / site_cycles
+        for name in _CYCLE_SHARE_FIELDS:
+            setattr(stats, name, getattr(site_stats, name) * share)
+        stats.fu_busy_cycles = {
+            fu: busy * share for fu, busy in site_stats.fu_busy_cycles.items()
+        }
+        results.append(RegionResult(region=region, stats=stats))
+    return results
+
+
+def extrapolate_stats(
+    region_results: List[RegionResult], total_insts: int
+) -> SimStats:
+    """Reconstruct whole-program :class:`SimStats` from region runs.
+
+    Every counter extrapolates by weighted per-instruction rate:
+    ``round(sum_j V_j * c_j / n_j * N)``, clamped at zero as a
+    belt-and-braces guard (weights are non-negative by construction
+    since the control variate is dropped when it over-corrects past
+    zero).  Since each region
+    commits exactly its ``n_j`` instructions and the weights sum to 1,
+    ``committed`` extrapolates to exactly ``N``; ``cycles`` is the
+    validated CPI estimator times ``N``.  Pure function of the region
+    outcomes — exercised directly by the unit tests with synthetic
+    counters.
+    """
+    estimate = SimStats()
+    scalar_fields = [
+        f.name
+        for f in fields(SimStats)
+        if f.name not in ("fu_issued", "fu_busy_cycles")
+        and f.name not in SAMPLED_ONLY_FIELDS
+    ]
+    for name in scalar_fields:
+        rate = sum(
+            r.region.weight * getattr(r.stats, name) / r.region.length
+            for r in region_results
+            if r.region.length
+        )
+        setattr(estimate, name, max(0, round(rate * total_insts)))
+    for dict_name in ("fu_issued", "fu_busy_cycles"):
+        combined: Dict[FUClass, float] = {}
+        for r in region_results:
+            if not r.region.length:
+                continue
+            scale = r.region.weight / r.region.length
+            for fu, count in getattr(r.stats, dict_name).items():
+                combined[fu] = combined.get(fu, 0.0) + count * scale
+        setattr(
+            estimate,
+            dict_name,
+            {
+                fu: max(0, round(rate * total_insts))
+                for fu, rate in combined.items()
+            },
+        )
+    return estimate
+
+
+def run_sampled(
+    trace: Trace,
+    plan: SamplingPlan,
+    model: str = "sie",
+    config: Optional[MachineConfig] = None,
+    irb_config: Optional[IRBConfig] = None,
+    max_cycles: Optional[int] = None,
+    warmup: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> SampledRunResult:
+    """Run one timing model over the trace's chunk sites only.
+
+    Args:
+        trace: the *full* dynamic instruction stream; site selection and
+            slicing happen here (both memoized on the trace).
+        plan: the sampling parameters (interval, chunk, k, warmup,
+            budget, seed).
+        model / config / irb_config / max_cycles: exactly as in
+            :func:`repro.simulation.runner.simulate`; ``max_cycles``
+            guards each site run individually.
+        warmup: when True (the default, matching full runs) each site is
+            preceded by functional warmup per ``plan.warmup`` — cache /
+            predictor / BTB training only, no cycle-core work.
+        tracer: telemetry sink; receives every site run's raw pipeline
+            events (in each site's own cycle/seq domain) plus, at the
+            end, one :class:`PhaseEvent` per measured region stamped
+            with the region's start offset on the reconstructed
+            (concatenated-window) timeline.
+    """
+    try:
+        cls = MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; choose from {sorted(MODELS)}"
+        ) from None
+    if irb_config is not None and model not in _IRB_MODELS:
+        raise ValueError(f"model {model!r} takes no IRB configuration")
+    if tracer is None:
+        tracer = NULL_TRACER
+
+    selection = select_regions(trace, plan)
+    region_results: List[RegionResult] = []
+    walker: Optional[_WarmWalker] = None
+    for site in selection.sites:
+        slice_trace = site_trace(trace, site)
+        if model in _IRB_MODELS:
+            pipeline = cls(slice_trace, config, irb_config)  # type: ignore[call-arg]
+        else:
+            pipeline = cls(slice_trace, config)
+        if warmup:
+            if plan.warmup < 0:
+                if walker is None:
+                    walker = _WarmWalker(trace, pipeline)
+                walker.install(pipeline, site)
+            else:
+                pipeline.warm_up(insts=warmup_insts(trace, site, plan.warmup))
+        window = WindowTracer()
+        if tracer is not NULL_TRACER:
+            from ..telemetry import TeeTracer
+
+            pipeline.tracer = TeeTracer(window, tracer)
+        else:
+            pipeline.tracer = window
+        site_stats = pipeline.run(max_cycles=max_cycles)
+        region_results.extend(
+            _carve_site(site, selection, site_stats, window)
+        )
+
+    region_results.sort(key=lambda r: r.region.start)
+    if tracer is not NULL_TRACER:
+        offset = 0
+        for r in region_results:
+            tracer.emit(
+                PhaseEvent(
+                    cycle=offset,
+                    phase=r.region.phase,
+                    start_seq=r.region.start,
+                    end_seq=r.region.end,
+                    weight=r.region.weight,
+                )
+            )
+            offset += r.stats.cycles
+
+    estimate = extrapolate_stats(region_results, selection.total_insts)
+    return SampledRunResult(
+        model=model,
+        workload=trace.name,
+        stats=estimate,
+        plan=plan,
+        selection=selection,
+        region_results=region_results,
+    )

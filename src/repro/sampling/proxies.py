@@ -1,0 +1,87 @@
+"""Functional performance proxies: cheap per-interval predictors of CPI.
+
+The estimator in :mod:`.regions` does not rely on BBV similarity alone.
+A second, *functional* signal — obtainable without any cycle-core work —
+correlates strongly with per-interval CPI across most of the workload
+suite:
+
+* **memory latency**: the summed hierarchy latencies (instruction fetch
+  plus load/store) of a functional replay with an advancing clock, and
+* **branch mispredicts**: the mispredict count of the same replay
+  through a fresh predictor.
+
+Neither is the timing model's own number (no overlap, no back-pressure,
+untrained structures), which is exactly why they are *proxies*: used as
+regression covariates they soak up most of the CPI variance the BBV
+clusters cannot see, and the regression's residual correction keeps the
+estimate unbiased wherever they fail (see ``docs/SAMPLING.md``).
+
+The pass is one linear sweep over the trace with the paper-baseline
+hierarchy and predictor, memoized per (trace, interval length) — jobs
+sharing a trace share the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..branch import make_predictor
+from ..core.decoded import OP_META
+from ..memory import MemoryHierarchy
+from ..workloads import Trace
+
+#: One interval's proxy row: (memory latency per instruction,
+#: mispredicts per instruction).
+ProxyRow = Tuple[float, float]
+
+
+def _sweep(trace: Trace, interval_length: int) -> Tuple[ProxyRow, ...]:
+    hier = MemoryHierarchy()
+    predictor = make_predictor("gshare")
+    op_meta = OP_META
+
+    rows: List[ProxyRow] = []
+    latency = 0.0
+    mispredicts = 0
+    filled = 0
+    for now, inst in enumerate(trace.insts):
+        dec = op_meta[inst.opcode]
+        # Every instruction pays its fetch and (for memory ops) data
+        # latency, cold misses included: the proxy wants each interval's
+        # raw memory pressure, not the steady-state hit rate a detailed
+        # model would see.
+        latency += hier.fetch(inst.pc, now)
+        if dec.load:
+            latency += hier.load(inst.mem_addr, now)
+        elif dec.store:
+            latency += hier.store(inst.mem_addr, now)
+        if dec.cond_branch:
+            predicted = predictor.predict(inst.pc)
+            predictor.update(inst.pc, inst.taken, predicted)
+            if predicted != inst.taken:
+                mispredicts += 1
+        filled += 1
+        if filled == interval_length:
+            rows.append(
+                (latency / interval_length, mispredicts / interval_length)
+            )
+            latency = 0.0
+            mispredicts = 0
+            filled = 0
+    if filled:
+        rows.append((latency / interval_length, mispredicts / interval_length))
+    return tuple(rows)
+
+
+def interval_proxies(
+    trace: Trace, interval_length: int
+) -> Tuple[ProxyRow, ...]:
+    """The (memoized) per-interval proxy rows of ``trace``.
+
+    Interval boundaries match :func:`repro.sampling.bbv.profile_trace`
+    at the same ``interval_length``, row ``i`` describing interval ``i``.
+    """
+    return trace.derived(
+        ("sampling-proxies", interval_length),
+        lambda t: _sweep(t, interval_length),
+    )

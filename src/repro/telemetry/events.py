@@ -32,6 +32,10 @@ Event taxonomy (see ``docs/TELEMETRY.md``):
 * :class:`DivergenceEvent` — one cross-model invariant violation found
   by the differential-fuzzing harness (``repro.validation``); emitted
   post-run, stamped with the diverging run's final cycle.
+* :class:`PhaseEvent` — one representative region of a sampled run
+  (``repro.sampling``) opening on the reconstructed timeline; emitted
+  post-run, stamped with the region's starting cycle offset (the sum of
+  the preceding regions' cycle counts).
 """
 
 from __future__ import annotations
@@ -152,8 +156,32 @@ class DivergenceEvent:
     detail: str
 
 
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One sampled-simulation region boundary.
+
+    ``cycle`` is the region's start offset on the sampled run's
+    reconstructed timeline; ``phase`` the cluster id from BBV phase
+    analysis; ``start_seq``/``end_seq`` the half-open dynamic-instruction
+    range in the *parent* trace; ``weight`` the phase's share of dynamic
+    instructions (what the region's statistics are scaled by).
+    """
+
+    cycle: int
+    phase: int
+    start_seq: int
+    end_seq: int
+    weight: float
+
+
 Event = Union[
-    InstEvent, IRBEvent, CheckEvent, FaultEvent, CycleEvent, DivergenceEvent
+    InstEvent,
+    IRBEvent,
+    CheckEvent,
+    FaultEvent,
+    CycleEvent,
+    DivergenceEvent,
+    PhaseEvent,
 ]
 
 

@@ -40,6 +40,7 @@ from .events import (
     FaultEvent,
     InstEvent,
     IRBEvent,
+    PhaseEvent,
 )
 
 _STREAM_NAMES = {0: "primary stream", 1: "duplicate stream"}
@@ -175,6 +176,20 @@ def chrome_trace(
                     0,
                     0,
                     {"model": event.model, "detail": event.detail},
+                )
+            )
+        elif isinstance(event, PhaseEvent):
+            trace_events.append(
+                _instant(
+                    f"phase:{chr(ord('A') + event.phase) if event.phase < 26 else event.phase}",
+                    event.cycle,
+                    0,
+                    0,
+                    {
+                        "start_seq": event.start_seq,
+                        "end_seq": event.end_seq,
+                        "weight": round(event.weight, 6),
+                    },
                 )
             )
 

@@ -38,6 +38,7 @@ from .events import (
     FaultEvent,
     InstEvent,
     IRBEvent,
+    PhaseEvent,
     Tracer,
 )
 
@@ -172,6 +173,8 @@ class MetricsCollector(Tracer):
         self.fault_outcomes: Dict[str, int] = {}
         self.divergences: Dict[str, int] = {}
         self.cycles_observed = 0
+        # Sampled-simulation region boundaries, in emission order.
+        self.phases: List[PhaseEvent] = []
 
     # ------------------------------------------------------------------
 
@@ -190,6 +193,8 @@ class MetricsCollector(Tracer):
         elif isinstance(event, DivergenceEvent):
             name = event.invariant
             self.divergences[name] = self.divergences.get(name, 0) + 1
+        elif isinstance(event, PhaseEvent):
+            self.phases.append(event)
 
     # ------------------------------------------------------------------
 
@@ -268,6 +273,16 @@ class MetricsCollector(Tracer):
             "checks_failed": self.checks_failed,
             "fault_outcomes": dict(sorted(self.fault_outcomes.items())),
             "divergences": dict(sorted(self.divergences.items())),
+            "phases": [
+                {
+                    "cycle": p.cycle,
+                    "phase": p.phase,
+                    "start_seq": p.start_seq,
+                    "end_seq": p.end_seq,
+                    "weight": round(p.weight, 6),
+                }
+                for p in self.phases
+            ],
         }
 
 

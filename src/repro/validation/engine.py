@@ -136,11 +136,15 @@ def run_one_case(
     if faults and det_model in faults:
         plan = list(faults[det_model])
         injector_factory = lambda: FaultInjector(list(plan))  # noqa: E731
+    # The sampled-reconstruction check rides the same rotation, but only
+    # for fault-free models: sampling cannot replay a fault plan.
+    sampled_model = None if faults and det_model in faults else det_model
     active, exempted = check_case(
         case,
         determinism_model=det_model,
         tracer=tracer,
         determinism_injector=injector_factory,
+        sampled_model=sampled_model,
     )
     return tuple(active), tuple(exempted)
 
