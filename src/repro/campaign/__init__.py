@@ -16,11 +16,20 @@ key/provenance scheme and resume semantics.
 """
 
 from .jobs import Job, JobResult, Provenance, SOURCE_RUN, SOURCE_STORE
-from .keys import CODE_VERSION, canonical, job_key, job_spec
+from .keys import (
+    CODE_VERSION,
+    canonical,
+    from_canonical,
+    job_from_spec,
+    job_key,
+    job_spec,
+)
 from .progress import ProgressPrinter, wall_clock
 from .scheduler import (
     CampaignContext,
     CampaignOutcome,
+    CampaignState,
+    StoreMissError,
     campaign_context,
     current_context,
     execute_job,
@@ -32,6 +41,7 @@ __all__ = [
     "CODE_VERSION",
     "CampaignContext",
     "CampaignOutcome",
+    "CampaignState",
     "DEFAULT_ROOT",
     "Job",
     "JobResult",
@@ -40,10 +50,13 @@ __all__ = [
     "ResultStore",
     "SOURCE_RUN",
     "SOURCE_STORE",
+    "StoreMissError",
     "campaign_context",
     "canonical",
     "current_context",
     "execute_job",
+    "from_canonical",
+    "job_from_spec",
     "job_key",
     "job_spec",
     "run_campaign",

@@ -65,3 +65,89 @@ def job_key(job: Job) -> str:
     """Stable content hash of ``job`` under the current :data:`CODE_VERSION`."""
     payload = json.dumps(job_spec(job), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- spec inverse ----------------------------------------------------------
+#
+# `repro serve` resolves POSTed job specs back into Job objects
+# (`/job` -> key lookup), so `canonical()` needs an inverse.  Every type
+# that can appear inside a job spec is registered here by the `__type__`
+# tag `canonical()` emits; enums never appear in specs (`Job` holds none
+# at the top level and nested configs store plain scalars), so reversing
+# dataclasses, lists and scalars is complete.
+
+
+def _spec_types() -> dict:
+    from ..memory.cache import CacheConfig
+    from ..memory.dram import DRAMConfig
+    from ..memory.hierarchy import HierarchyConfig
+    from ..core import MachineConfig
+    from ..redundancy import Fault
+    from ..reuse import IRBConfig
+    from ..sampling.plan import SamplingPlan
+
+    return {
+        t.__name__: t
+        for t in (
+            Job,
+            MachineConfig,
+            HierarchyConfig,
+            CacheConfig,
+            DRAMConfig,
+            IRBConfig,
+            SamplingPlan,
+            Fault,
+        )
+    }
+
+
+def from_canonical(value: Any) -> Any:
+    """Invert :func:`canonical`: rebuild dataclasses from tagged dicts.
+
+    Raises :class:`ValueError` on unknown ``__type__`` tags or field
+    mismatches, so a malformed spec fails loudly instead of minting a
+    wrong key.
+    """
+    if isinstance(value, dict):
+        if "__type__" not in value:
+            return {k: from_canonical(v) for k, v in value.items()}
+        tag = value["__type__"]
+        cls = _spec_types().get(tag)
+        if cls is None:
+            raise ValueError(f"unknown spec type {tag!r}")
+        declared = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs = {}
+        for name, raw in value.items():
+            if name == "__type__":
+                continue
+            if name not in declared:
+                raise ValueError(f"{tag} has no field {name!r}")
+            field_value = from_canonical(raw)
+            # canonical() turned tuples into lists; frozen dataclasses
+            # declare tuple fields (Job.faults), so coerce back.
+            if isinstance(field_value, list) and "Tuple" in str(declared[name].type):
+                field_value = tuple(field_value)
+            kwargs[name] = field_value
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise ValueError(f"cannot rebuild {tag}: {error}") from None
+    if isinstance(value, list):
+        return [from_canonical(item) for item in value]
+    return value
+
+
+def job_from_spec(spec: dict) -> Job:
+    """Rebuild the :class:`Job` a stored/POSTed spec describes.
+
+    Accepts both full spec documents (with ``__code_version__``) and
+    bare canonical job dicts; the round trip ``job_from_spec(job_spec(j))``
+    reproduces ``j`` exactly, hence the same content key.
+    """
+    payload = {k: v for k, v in spec.items() if k != "__code_version__"}
+    payload.setdefault("__type__", "Job")
+    if payload["__type__"] != "Job":
+        raise ValueError(f"spec is a {payload['__type__']!r}, not a Job")
+    job = from_canonical(payload)
+    assert isinstance(job, Job)
+    return job

@@ -21,7 +21,17 @@ interrupted campaign resumes from where it stopped.
 An ambient :class:`CampaignContext` (``with campaign_context(...):``)
 lets high-level entry points — the experiment registry, the CLI — set
 the parallelism and store once while inner layers keep calling
-``run_campaign(jobs)`` with no extra plumbing.
+``run_campaign(jobs)`` with no extra plumbing.  Two service-tier flags
+ride on the context: ``store_only`` (resolve from the store or raise
+:class:`StoreMissError` — never simulate; this is how ``repro serve``
+guarantees a warm query executes zero simulations) and ``streaming``
+(dispatch through the asyncio scheduler in
+:mod:`repro.service.streaming` instead of the multiprocessing pool).
+
+The store pass, intra-batch dedup, result fan-out and ordering logic
+live in :class:`CampaignState`, shared verbatim by this module's
+multiprocessing fan-out and the streaming scheduler — which is why the
+two paths produce byte-identical outcomes.
 """
 
 from __future__ import annotations
@@ -45,6 +55,22 @@ ProgressFn = Callable[[int, int, JobResult], None]
 
 #: One task for a worker: [(submission index, job), ...] sharing a trace.
 _Group = List[Tuple[int, Job]]
+
+
+class StoreMissError(LookupError):
+    """A store-only campaign needed a result the store does not hold.
+
+    ``missing`` counts the jobs that would have to simulate; the serve
+    API maps this onto HTTP 409 with that count in the body.
+    """
+
+    def __init__(self, missing: int, total: int):
+        super().__init__(
+            f"{missing} of {total} job(s) not in the store "
+            "(store-only campaign refuses to simulate)"
+        )
+        self.missing = missing
+        self.total = total
 
 
 def execute_job(job: Job) -> SimStats:
@@ -138,6 +164,99 @@ class CampaignOutcome:
     wall_time_s: float = 0.0
 
 
+class CampaignState:
+    """The scheduler-independent campaign bookkeeping.
+
+    Both execution paths — the multiprocessing fan-out below and the
+    asyncio streaming scheduler (:mod:`repro.service.streaming`) — drive
+    the same state machine: :meth:`resolve` performs the store pass and
+    intra-batch dedup, :meth:`complete` persists and fans out one
+    simulated result, :meth:`finalize` re-asserts submission order.
+    Byte-identical outcomes across schedulers follow from sharing this
+    class rather than re-implementing its rules.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+        self.total = len(jobs)
+        self.start = wall_clock()
+        self.outcome = CampaignOutcome(results=[])
+        self.done = 0
+        self._slots: List[Optional[JobResult]] = [None] * self.total
+        self._duplicates: Dict[int, List[int]] = {}  # first index -> followers
+        #: Results finished during resolve() (store hits), in order.
+        self.resolved: List[JobResult] = []
+
+    def _finish(self, index: int, result: JobResult) -> None:
+        self._slots[index] = result
+        self.done += 1
+        if self.progress is not None:
+            self.progress(self.done, self.total, result)
+
+    def resolve(self) -> List[_Group]:
+        """Store pass + dedup; returns the trace groups left to simulate."""
+        first_index_for_key: Dict[str, int] = {}
+        pending: List[Tuple[int, Job]] = []
+        for index, job in enumerate(self.jobs):
+            key = job_key(job)
+            if self.store is not None:
+                found = self.store.get(key)
+                if found is not None:
+                    stats, provenance = found
+                    self.outcome.store_hits += 1
+                    result = JobResult(job, stats, provenance)
+                    self.resolved.append(result)
+                    self._finish(index, result)
+                    continue
+            first = first_index_for_key.setdefault(key, index)
+            if first != index:
+                self._duplicates.setdefault(first, []).append(index)
+                self.outcome.deduped += 1
+            else:
+                pending.append((index, job))
+        return _group_by_trace(pending)
+
+    def complete(self, index: int, stats: SimStats, wall: float) -> List[JobResult]:
+        """Persist one simulated result and fan it out to duplicate jobs.
+
+        Returns every :class:`JobResult` this completion finished (the
+        job itself plus intra-batch duplicates) — the streaming
+        scheduler yields exactly these.
+        """
+        job = self.jobs[index]
+        provenance = Provenance(SOURCE_RUN, wall, CODE_VERSION)
+        if self.store is not None:
+            self.store.put(job, stats, provenance)
+        self.outcome.executed += 1
+        finished = [JobResult(job, stats, provenance)]
+        self._finish(index, finished[0])
+        for follower in self._duplicates.get(index, ()):
+            result = JobResult(
+                self.jobs[follower], stats, Provenance(SOURCE_STORE, wall, CODE_VERSION)
+            )
+            finished.append(result)
+            self._finish(follower, result)
+        return finished
+
+    def finalize(self) -> CampaignOutcome:
+        """Assemble the outcome in submission order; absorbs into context."""
+        self.outcome.results = [r for r in self._slots if r is not None]
+        if len(self.outcome.results) != self.total:
+            raise RuntimeError("campaign lost results (scheduler bug)")
+        self.outcome.wall_time_s = wall_clock() - self.start
+        context = current_context()
+        if context is not None:
+            context.absorb(self.outcome)
+        return self.outcome
+
+
 @dataclass
 class CampaignContext:
     """Ambient campaign settings plus cross-call counters.
@@ -146,12 +265,18 @@ class CampaignContext:
     through the context (``experiments.common.run_apps``) apply the plan
     to their plain cycle-simulation jobs, while jobs that sampling
     cannot express (fault injection) ignore it.
+
+    ``store_only`` turns misses into :class:`StoreMissError` instead of
+    simulations — the serving tier's zero-simulation guarantee.
+    ``streaming`` routes execution through the asyncio scheduler.
     """
 
     jobs_n: int = 1
     store: Optional[ResultStore] = None
     progress: Optional[ProgressFn] = None
     sampling: Optional[SamplingPlan] = None
+    store_only: bool = False
+    streaming: bool = False
     executed: int = 0
     store_hits: int = 0
 
@@ -174,11 +299,18 @@ def campaign_context(
     store: Optional[ResultStore] = None,
     progress: Optional[ProgressFn] = None,
     sampling: Optional[SamplingPlan] = None,
+    store_only: bool = False,
+    streaming: bool = False,
 ) -> Iterator[CampaignContext]:
     """Install an ambient context for nested ``run_campaign`` calls."""
     global _ACTIVE_CONTEXT
     context = CampaignContext(
-        jobs_n=jobs_n, store=store, progress=progress, sampling=sampling
+        jobs_n=jobs_n,
+        store=store,
+        progress=progress,
+        sampling=sampling,
+        store_only=store_only,
+        streaming=streaming,
     )
     previous = _ACTIVE_CONTEXT
     _ACTIVE_CONTEXT = context
@@ -211,6 +343,10 @@ def run_campaign(
             (which may itself have none — then nothing persists).
         progress: per-job callback ``(done, total, result)``; ``None``
             defers to the ambient context.
+
+    Raises:
+        StoreMissError: the ambient context is ``store_only`` and at
+            least one job is not in the store.
     """
     context = current_context()
     if jobs_n is None:
@@ -220,59 +356,28 @@ def run_campaign(
     if progress is None and context is not None:
         progress = context.progress
 
-    start = wall_clock()
-    total = len(jobs)
-    results: List[Optional[JobResult]] = [None] * total
-    outcome = CampaignOutcome(results=[])
-    done = 0
+    if context is not None and context.streaming and not context.store_only:
+        from ..service.streaming import run_streaming
 
-    def finish(index: int, result: JobResult) -> None:
-        nonlocal done
-        results[index] = result
-        done += 1
-        if progress is not None:
-            progress(done, total, result)
+        return run_streaming(jobs, jobs_n=jobs_n, store=store, progress=progress)
+
+    state = CampaignState(jobs, store=store, progress=progress)
 
     # 1. Store lookups + intra-batch dedup: only unique misses simulate.
-    first_index_for_key: Dict[str, int] = {}
-    duplicates: Dict[int, List[int]] = {}  # first index -> follower indices
-    pending: List[Tuple[int, Job]] = []
-    for index, job in enumerate(jobs):
-        key = job_key(job)
-        if store is not None:
-            found = store.get(key)
-            if found is not None:
-                stats, provenance = found
-                outcome.store_hits += 1
-                finish(index, JobResult(job, stats, provenance))
-                continue
-        first = first_index_for_key.setdefault(key, index)
-        if first != index:
-            duplicates.setdefault(first, []).append(index)
-            outcome.deduped += 1
-        else:
-            pending.append((index, job))
+    groups = state.resolve()
 
-    def complete(index: int, stats: SimStats, wall: float) -> None:
-        job = jobs[index]
-        provenance = Provenance(SOURCE_RUN, wall, CODE_VERSION)
-        if store is not None:
-            store.put(job, stats, provenance)
-        outcome.executed += 1
-        finish(index, JobResult(job, stats, provenance))
-        for follower in duplicates.get(index, ()):
-            finish(
-                follower,
-                JobResult(jobs[follower], stats, Provenance(SOURCE_STORE, wall, CODE_VERSION)),
-            )
+    if groups and context is not None and context.store_only:
+        raise StoreMissError(
+            missing=sum(len(g) for g in groups) + state.outcome.deduped,
+            total=state.total,
+        )
 
     # 2. Execute the misses, grouped so each trace is generated once.
-    groups = _group_by_trace(pending)
     if groups:
         if jobs_n <= 1 or len(groups) == 1:
             for group in groups:
                 for index, stats, wall in _run_group(group):
-                    complete(index, stats, wall)
+                    state.complete(index, stats, wall)
         else:
             ctx = _pool_context()
             workers = min(jobs_n, len(groups))
@@ -281,17 +386,11 @@ def run_campaign(
                 try:
                     for group_result in iterator:
                         for index, stats, wall in group_result:
-                            complete(index, stats, wall)
+                            state.complete(index, stats, wall)
                 except KeyboardInterrupt:
                     # Drain: everything completed above is already in the
                     # store; abandon the rest and propagate.
                     pool.terminate()
                     raise
 
-    outcome.results = [r for r in results if r is not None]
-    if len(outcome.results) != total:
-        raise RuntimeError("campaign lost results (scheduler bug)")
-    outcome.wall_time_s = wall_clock() - start
-    if context is not None:
-        context.absorb(outcome)
-    return outcome
+    return state.finalize()

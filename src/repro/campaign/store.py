@@ -1,32 +1,48 @@
 """Persistent, content-addressed result store.
 
-Layout (no sqlite, no external deps — one JSON document per result,
-fanned out over 256 two-hex-digit shard directories to keep directory
-listings short)::
+The store is a map from content key to one JSON document, persisted
+through a pluggable :class:`~repro.service.backends.StoreBackend`:
 
-    results/store/
-        ab/abcdef....json      # key -> {format, spec, stats, provenance}
-        ab/ab1234....json
-        cd/cd5678....json
+* the default :class:`~repro.service.backends.DirectoryBackend` keeps
+  the original layout — one JSON document per result, fanned out over
+  256 two-hex-digit shard directories::
 
-Writes are atomic (temp file + ``os.replace``), so a campaign killed
-mid-write never leaves a truncated entry, and concurrent campaigns
-sharing a store at worst both compute the same result and one rename
-wins.  Entries written under a different :data:`~.keys.CODE_VERSION`
-are unreachable by construction — the version is salted into the key.
+      results/store/
+          ab/abcdef....json      # key -> {format, spec, stats, provenance}
+          ab/ab1234....json
+          cd/cd5678....json
+
+* :class:`~repro.service.backends.SqliteBackend` adds a derived
+  ``index.sqlite`` for O(1) listing/filtering over large stores;
+* :class:`~repro.service.backends.HTTPBackend` reads from (and writes
+  through to) a running ``repro serve`` instance.
+
+Writes are atomic *and durable* (fsync'd temp file + ``os.replace`` +
+parent-directory fsync), so a campaign killed mid-write never leaves a
+truncated entry, and concurrent campaigns sharing a store at worst both
+compute the same result and one rename wins.  Entries written under a
+different :data:`~.keys.CODE_VERSION` are unreachable by construction —
+the version is salted into the key.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..core import SimStats
 from ..isa import FUClass
+from ..service.backends import (
+    KIND_FUZZ,
+    KIND_PROFILE,
+    KIND_RESULT,
+    DirectoryBackend,
+    StoreBackend,
+    StoreBackendError,
+    StoreStats,
+    write_json_atomic,
+)
 from ..telemetry.profile import RunProfile
 from .jobs import Job, Provenance
 from .keys import job_key, job_spec
@@ -64,64 +80,78 @@ def stats_from_dict(payload: dict) -> SimStats:
     return SimStats(**kwargs)
 
 
+def result_document(job: Job, stats: SimStats, provenance: Provenance) -> dict:
+    """The JSON document a result persists as."""
+    return {
+        "format": STORE_FORMAT,
+        "key": job_key(job),
+        "spec": job_spec(job),
+        "stats": stats_to_dict(stats),
+        "provenance": {
+            "wall_time_s": provenance.wall_time_s,
+            "code_version": provenance.code_version,
+        },
+    }
+
+
 class ResultStore:
-    """Key -> (SimStats, provenance) map persisted under ``root``.
+    """Key -> (SimStats, provenance) map persisted through a backend.
 
     Session counters (``hits``/``misses``/``writes``) track only the
     current process, for progress reporting and the CLI summary line.
     """
 
-    def __init__(self, root: Optional[Path] = None):
-        self.root = Path(root) if root is not None else DEFAULT_ROOT
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        backend: Optional[StoreBackend] = None,
+    ):
+        if backend is None:
+            backend = DirectoryBackend(Path(root) if root is not None else DEFAULT_ROOT)
+        self.backend = backend
+        #: Filesystem root for path-backed stores; ``None`` for remote ones.
+        self.root: Optional[Path] = getattr(backend, "root", None)
         self.hits = 0
         self.misses = 0
         self.writes = 0
 
     # -- paths ---------------------------------------------------------
+    #
+    # Valid only for path-backed stores (dir/sqlite); remote backends
+    # have no local files and raise.
+
+    def _backend_path(self, kind: str, key: str) -> Path:
+        if not isinstance(self.backend, DirectoryBackend):
+            raise StoreBackendError(
+                f"{self.backend.describe()} has no local paths"
+            )
+        return self.backend.path_for(kind, key)
 
     def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self._backend_path(KIND_RESULT, key)
 
     def profile_path_for(self, key: str) -> Path:
         """A run profile lives next to its result, same content key."""
-        return self.root / key[:2] / f"{key}.profile.json"
+        return self._backend_path(KIND_PROFILE, key)
 
     def fuzz_path_for(self, key: str) -> Path:
         """A fuzz-corpus entry; standalone (no parent result entry)."""
-        return self.root / key[:2] / f"{key}.fuzz.json"
+        return self._backend_path(KIND_FUZZ, key)
 
     # -- shared write path ---------------------------------------------
 
     @staticmethod
     def _write_json(path: Path, document: dict) -> None:
-        """Write one JSON document atomically (temp file + rename)."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        """Write one JSON document atomically and durably (fsync'd temp
+        file + rename + parent-directory fsync)."""
+        write_json_atomic(path, document)
 
     # -- read ----------------------------------------------------------
 
     def get(self, key: str) -> Optional[Tuple[SimStats, Provenance]]:
         """Look up one result; ``None`` (a miss) on absent/corrupt entries."""
-        path = self.path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if document.get("format") != STORE_FORMAT:
+        document = self.backend.read(KIND_RESULT, key)
+        if document is None or document.get("format") != STORE_FORMAT:
             self.misses += 1
             return None
         self.hits += 1
@@ -143,17 +173,7 @@ class ResultStore:
     def put(self, job: Job, stats: SimStats, provenance: Provenance) -> str:
         """Persist one result atomically; returns the key written."""
         key = job_key(job)
-        document = {
-            "format": STORE_FORMAT,
-            "key": key,
-            "spec": job_spec(job),
-            "stats": stats_to_dict(stats),
-            "provenance": {
-                "wall_time_s": provenance.wall_time_s,
-                "code_version": provenance.code_version,
-            },
-        }
-        self._write_json(self.path_for(key), document)
+        self.backend.write(KIND_RESULT, key, result_document(job, stats, provenance))
         self.writes += 1
         return key
 
@@ -170,17 +190,17 @@ class ResultStore:
         key = job_key(job)
         document = profile.to_dict()
         document["key"] = key
-        self._write_json(self.profile_path_for(key), document)
+        self.backend.write(KIND_PROFILE, key, document)
         return key
 
     def get_profile(self, key: str) -> Optional[RunProfile]:
         """Load the stored profile for ``key``; ``None`` when absent/corrupt."""
-        path = self.profile_path_for(key)
+        document = self.backend.read(KIND_PROFILE, key)
+        if document is None:
+            return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
             return RunProfile.from_dict(document)
-        except (OSError, ValueError):
+        except (ValueError, KeyError, TypeError):
             return None
 
     def get_profile_for_job(self, job: Job) -> Optional[RunProfile]:
@@ -197,67 +217,36 @@ class ResultStore:
 
     def put_fuzz(self, key: str, document: dict) -> str:
         """Persist one fuzz-corpus document atomically under ``key``."""
-        self._write_json(self.fuzz_path_for(key), document)
+        self.backend.write(KIND_FUZZ, key, document)
         return key
 
     def get_fuzz(self, key: str) -> Optional[dict]:
         """Load one fuzz-corpus document; ``None`` when absent/corrupt."""
-        try:
-            with open(self.fuzz_path_for(key), "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        return document if isinstance(document, dict) else None
+        return self.backend.read(KIND_FUZZ, key)
 
     def fuzz_keys(self) -> Iterator[str]:
         """Every fuzz-corpus key in the store, in sorted shard order."""
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
-            for entry in sorted(shard.glob("*.fuzz.json")):
-                yield entry.name[: -len(".fuzz.json")]
+        return self.backend.keys(KIND_FUZZ)
 
     # -- maintenance ---------------------------------------------------
 
     def keys(self) -> Iterator[str]:
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
-            for entry in sorted(shard.glob("*.json")):
-                if entry.stem.endswith((".profile", ".fuzz")):
-                    continue  # side-cars are not result entries
-                yield entry.stem
+        return self.backend.keys(KIND_RESULT)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).is_file()
+        return self.backend.contains(KIND_RESULT, key)
 
     def clear(self) -> int:
         """Delete every entry, profile side-car and fuzz-corpus document;
         returns how many result entries were removed."""
-        removed = 0
-        for key in list(self.keys()):
-            try:
-                self.path_for(key).unlink()
-                removed += 1
-            except OSError:
-                pass
-            try:
-                self.profile_path_for(key).unlink()
-            except OSError:
-                pass
-        for key in list(self.fuzz_keys()):
-            try:
-                self.fuzz_path_for(key).unlink()
-            except OSError:
-                pass
-        return removed
+        return self.backend.clear()
+
+    def stats(self) -> StoreStats:
+        """Entry counts and sizes per kind (see ``repro store stats``)."""
+        return self.backend.stats()
 
     def session_counts(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

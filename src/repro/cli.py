@@ -23,6 +23,13 @@ Commands:
   (see ``docs/SAMPLING.md``).  ``run`` and ``campaign`` accept
   ``--sample`` to estimate statistics from selected regions instead of
   simulating whole traces.
+* ``serve`` — answer result/experiment/store queries over HTTP straight
+  from the store; a warm query executes zero simulations
+  (see ``docs/SERVICE.md``).
+* ``store stats|gc|migrate`` — store housekeeping: per-kind entry
+  counts and sizes, garbage collection (stale temp files, orphaned
+  profile side-cars, corrupt documents), and the directory → sqlite
+  index migration.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .campaign import ProgressPrinter, ResultStore, campaign_context
+from .campaign import DEFAULT_ROOT, ProgressPrinter, ResultStore, campaign_context
 from .core import MachineConfig
 from .experiments import EXPERIMENTS, get_experiment
 from .isa import FUClass
@@ -214,14 +221,61 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--n", type=int, default=None, help="instructions per run")
     camp.add_argument("--seed", type=int, default=None, help="workload seed")
     camp.add_argument("--store-dir", default=None, metavar="DIR",
-                      help="result-store root (default results/store)")
+                      help="result-store root or http(s):// URL of a "
+                           "`repro serve` (default results/store)")
+    camp.add_argument("--backend", choices=("dir", "sqlite"), default="dir",
+                      help="local store backend (default dir; "
+                           "sqlite adds a metadata index)")
     camp.add_argument("--no-store", action="store_true",
                       help="neither read nor write the result store")
     camp.add_argument("--clear-store", action="store_true",
                       help="empty the store before running")
+    camp.add_argument("--stream", action="store_true",
+                      help="use the asyncio streaming scheduler "
+                           "(byte-identical results; docs/SERVICE.md)")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-job progress on stderr")
     _add_sampling_args(camp)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP API over the result store; warm queries simulate nothing",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="result-store root (default results/store)")
+    serve.add_argument("--backend", choices=("dir", "sqlite"), default="sqlite",
+                       help="store backend (default sqlite: indexed listing)")
+    serve.add_argument("--read-only", action="store_true",
+                       help="reject PUT writes from remote campaigns")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request logging on stderr")
+
+    st = sub.add_parser("store", help="result-store housekeeping")
+    st_sub = st.add_subparsers(dest="store_command", required=True)
+    st_stats = st_sub.add_parser(
+        "stats", help="entry counts and on-disk size per kind"
+    )
+    st_gc = st_sub.add_parser(
+        "gc",
+        help="prune stale temp files, orphaned profile side-cars and "
+             "corrupt documents",
+    )
+    st_gc.add_argument("--dry-run", action="store_true",
+                       help="report, do not delete")
+    st_migrate = st_sub.add_parser(
+        "migrate",
+        help="(re)build the sqlite metadata index from the store files",
+    )
+    for st_cmd in (st_stats, st_gc, st_migrate):
+        st_cmd.add_argument("--store-dir", default=None, metavar="DIR",
+                            help="result-store root (default results/store); "
+                                 "stats also accepts an http(s):// URL")
+        st_cmd.add_argument("--backend", choices=("dir", "sqlite"),
+                            default="dir", help="local store backend")
+        st_cmd.add_argument("--json", action="store_true",
+                            help="emit the report as JSON")
 
     sample = sub.add_parser(
         "sample", help="sampled-simulation tooling (docs/SAMPLING.md)"
@@ -625,6 +679,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return subprocess.call(command, env=env)
 
 
+def _open_store(store_dir: Optional[str], backend: str = "dir") -> ResultStore:
+    """A store over a local root (dir/sqlite) or a ``repro serve`` URL."""
+    from .service.backends import open_backend
+
+    spec = store_dir if store_dir else str(DEFAULT_ROOT)
+    return ResultStore(backend=open_backend(spec, backend=backend))
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         experiments = [get_experiment(exp_id) for exp_id in args.ids]
@@ -633,7 +695,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     store: Optional[ResultStore] = None
     if not args.no_store:
-        store = ResultStore(Path(args.store_dir) if args.store_dir else None)
+        store = _open_store(args.store_dir, args.backend)
         if args.clear_store:
             removed = store.clear()
             print(f"store cleared ({removed} entries)", file=sys.stderr)
@@ -647,7 +709,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     with campaign_context(
-        jobs_n=args.jobs, store=store, progress=progress, sampling=plan
+        jobs_n=args.jobs, store=store, progress=progress, sampling=plan,
+        streaming=args.stream,
     ) as context:
         for experiment in experiments:
             result = experiment.run(**kwargs)
@@ -659,6 +722,91 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    store = _open_store(args.store_dir, args.backend)
+    log = None
+    if not args.quiet:
+        def log(line: str) -> None:
+            print(line, file=sys.stderr)
+    server = serve(
+        store, host=args.host, port=args.port,
+        read_only=args.read_only, log=log,
+    )
+    print(
+        f"serving {store.backend.describe()} on {server.url}"
+        + (" (read-only)" if args.read_only else ""),
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.backends import StoreBackendError
+    from .service.maintenance import collect_garbage, migrate_index, store_stats
+
+    if args.store_command == "migrate":
+        if args.store_dir and args.store_dir.startswith(("http://", "https://")):
+            print("migrate needs a local store directory", file=sys.stderr)
+            return 2
+        root = Path(args.store_dir) if args.store_dir else DEFAULT_ROOT
+        rows = migrate_index(root)
+        if args.json:
+            print(json.dumps({"root": str(root), "indexed": rows}))
+        else:
+            print(f"indexed {rows} entr{'y' if rows == 1 else 'ies'} in {root}")
+        return 0
+
+    store = _open_store(args.store_dir, args.backend)
+    if args.store_command == "stats":
+        payload = store_stats(store.backend)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"store: {payload['backend']}")
+        for kind in ("result", "profile", "fuzz"):
+            count = payload["entries"].get(kind, 0)
+            size = payload["bytes"].get(kind, 0)
+            print(f"  {kind + ':':9s} {count:6d} entries, {size} bytes")
+        if payload.get("index_bytes"):
+            print(f"  index:    {payload['index_bytes']} bytes")
+        if payload.get("tmp_files"):
+            print(f"  tmp:      {payload['tmp_files']} stale temp file(s)")
+        print(f"  total:    {payload['total_entries']} entries, "
+              f"{payload['total_bytes']} bytes")
+        return 0
+
+    if args.store_command == "gc":
+        try:
+            report = collect_garbage(store.backend, dry_run=args.dry_run)
+        except StoreBackendError as error:
+            print(error, file=sys.stderr)
+            return 2
+        payload = report.to_dict()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"gc: {verb} {payload['total_removed']} item(s) "
+            f"({payload['tmp_removed']} temp, "
+            f"{payload['orphan_profiles']} orphaned profile(s), "
+            f"{sum(payload['corrupt'].values())} corrupt), "
+            f"{payload['bytes_reclaimed']} bytes"
+        )
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
 def _render_phase_map(selection: "object") -> List[str]:
@@ -986,6 +1134,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "sample":
         return _cmd_sample(args)
     if args.command == "fuzz":

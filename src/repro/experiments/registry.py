@@ -40,6 +40,11 @@ class Experiment:
     title: str
     module: ModuleType
     reconstructed: bool  # True if Section 4's exact form was unavailable
+    #: True for experiments that read live pipeline state (T2: cache
+    #: hierarchy internals, F11: the fault injector's log) and therefore
+    #: bypass the campaign store — they cannot be answered store-only
+    #: and `repro serve` refuses them.
+    direct: bool = False
 
     def run(
         self,
@@ -73,7 +78,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     e.id: e
     for e in (
         Experiment("T1", "Machine configuration", table1_config, True),
-        Experiment("T2", "Baseline SIE/DIE characteristics", table2_baseline, True),
+        Experiment("T2", "Baseline SIE/DIE characteristics", table2_baseline, True, direct=True),
         Experiment("F2", "Resource-doubling study (Figure 2)", fig2_resources, False),
         Experiment("F5", "DIE-IRB headline recovery", fig_die_irb, True),
         Experiment("F6", "IRB hit/reuse rates", fig_irb_hitrate, True),
@@ -81,7 +86,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("F8", "IRB read-port sensitivity", fig_irb_ports, True),
         Experiment("F9", "Conflict-miss reduction (CTR)", fig_conflict, True),
         Experiment("F10", "Duplicate-stream service breakdown", fig_alu_breakdown, True),
-        Experiment("F11", "Fault-injection coverage (Sec 3.4)", fault_coverage, False),
+        Experiment("F11", "Fault-injection coverage (Sec 3.4)", fault_coverage, False, direct=True),
         Experiment("A1", "Value- vs name-based reuse", ablation_namebased, False),
         Experiment("A2", "SIE-IRB prior-work baseline", ablation_sie_irb, False),
         Experiment("A3", "IRB lookup-latency sensitivity", ablation_latency, True),

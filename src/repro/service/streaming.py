@@ -1,0 +1,160 @@
+"""Asyncio streaming scheduler: results arrive as they complete.
+
+The multiprocessing scheduler in :mod:`repro.campaign.scheduler` blocks
+until the whole batch is done and returns results in submission order.
+This module executes the *same* campaign state machine
+(:class:`~repro.campaign.scheduler.CampaignState` — store pass, dedup,
+trace grouping, persist-on-complete) but exposes it as an async stream::
+
+    async for result in stream_campaign(jobs, jobs_n=4, store=store):
+        ...  # arrives the moment its trace group finishes
+
+Guarantees, proven by ``tests/test_service.py``:
+
+* **Byte-identical outcomes** — :func:`run_streaming` returns a
+  :class:`~repro.campaign.scheduler.CampaignOutcome` whose results,
+  statistics and provenance are exactly the serial scheduler's (only
+  ``wall_time_s`` values differ in general; the stats bytes never do),
+  because both paths share ``CampaignState``.
+* **Streaming order** — store hits stream first (they cost one file
+  read), then simulated groups in completion order.
+* **Resume after a lost worker** — a worker process dying mid-campaign
+  raises :class:`WorkerLostError`, but every group completed before the
+  loss is already persisted, so re-running the same campaign resumes
+  from the store and only the remainder simulates.
+
+Workers are ``ProcessPoolExecutor`` processes (fork-preferred, same as
+the multiprocessing path).  ``GROUP_RUNNER`` is the module-level worker
+entry point; tests monkeypatch it to inject worker crashes (forked
+children inherit the patch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import AsyncIterator, Callable, List, Optional, Sequence, Tuple
+
+from ..campaign.jobs import Job, JobResult
+from ..campaign.scheduler import (
+    CampaignOutcome,
+    CampaignState,
+    ProgressFn,
+    _pool_context,
+    _run_group,
+)
+from ..campaign.store import ResultStore
+from ..core import SimStats
+
+#: What a worker returns for one trace group.
+_GroupResult = List[Tuple[int, SimStats, float]]
+
+#: Worker entry point.  Module-level so tests can monkeypatch a crashing
+#: variant; forked pool workers inherit the patched value.
+GROUP_RUNNER: Callable[[List[Tuple[int, Job]]], _GroupResult] = _run_group
+
+
+def _call_group_runner(group: List[Tuple[int, Job]]) -> _GroupResult:
+    """Indirection so the patched ``GROUP_RUNNER`` is resolved call-time."""
+    return GROUP_RUNNER(group)
+
+
+class WorkerLostError(RuntimeError):
+    """A pool worker died mid-campaign (killed, OOM, segfault).
+
+    Everything completed before the loss is already in the store —
+    re-running the campaign resumes from there.
+    """
+
+
+async def stream_campaign(
+    jobs: Sequence[Job],
+    jobs_n: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+    state: Optional[CampaignState] = None,
+) -> AsyncIterator[JobResult]:
+    """Yield each job's result the moment it is available.
+
+    Store hits stream first; simulated trace groups follow in completion
+    order (intra-batch duplicates arrive right after the job that ran
+    for them).  Pass ``state`` to share bookkeeping with a caller that
+    wants the final :class:`CampaignOutcome` (see :func:`run_streaming`);
+    when given, ``jobs``/``store``/``progress`` are taken from it.
+
+    Raises:
+        WorkerLostError: a worker process died; completed groups are
+            already persisted.
+    """
+    if state is None:
+        state = CampaignState(jobs, store=store, progress=progress)
+    groups = state.resolve()
+    for result in state.resolved:
+        yield result
+    if not groups:
+        return
+
+    loop = asyncio.get_running_loop()
+
+    if jobs_n <= 1 or len(groups) == 1:
+        # Serial: one group at a time off the event loop (default thread
+        # executor), still streaming group-by-group.
+        for group in groups:
+            group_result = await loop.run_in_executor(None, _call_group_runner, group)
+            for index, stats, wall in group_result:
+                for result in state.complete(index, stats, wall):
+                    yield result
+        return
+
+    executor = ProcessPoolExecutor(
+        max_workers=min(jobs_n, len(groups)), mp_context=_pool_context()
+    )
+    lost: Optional[BaseException] = None
+    try:
+        futures = [
+            loop.run_in_executor(executor, _call_group_runner, group)
+            for group in groups
+        ]
+        for future in asyncio.as_completed(futures):
+            try:
+                group_result = await future
+            except BrokenProcessPool as error:
+                # Keep draining: groups that finished before the pool
+                # broke still deliver (and persist) their results.
+                lost = error
+                continue
+            for index, stats, wall in group_result:
+                for result in state.complete(index, stats, wall):
+                    yield result
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    if lost is not None:
+        raise WorkerLostError(
+            "a campaign worker died; completed groups are persisted — "
+            "re-run to resume from the store"
+        ) from lost
+
+
+def run_streaming(
+    jobs: Sequence[Job],
+    jobs_n: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignOutcome:
+    """Drive :func:`stream_campaign` to completion from sync code.
+
+    Returns the same :class:`CampaignOutcome` shape as
+    ``run_campaign`` — submission-ordered results, identical statistics
+    bytes — and absorbs counters into the ambient campaign context.
+    Must not be called from inside a running event loop (use
+    :func:`stream_campaign` directly there).
+    """
+    state = CampaignState(jobs, store=store, progress=progress)
+
+    async def _consume() -> None:
+        async for _ in stream_campaign(jobs, jobs_n=jobs_n, state=state):
+            pass
+
+    asyncio.run(_consume())
+    return state.finalize()

@@ -185,3 +185,75 @@ class TestJsonOutput:
         assert main(["run", "gzip", "--n", "3000", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "INT_ALU" in payload["fu_issued"]
+
+
+class TestStoreCommands:
+    def warm(self, store_dir, backend="dir"):
+        args = [
+            "campaign", "F6", "--apps", "gzip", "--n", "3000",
+            "--store-dir", store_dir, "--backend", backend, "--quiet",
+        ]
+        assert main(args) == 0
+
+    def test_store_stats_table_and_json(self, capsys, tmp_path):
+        import json
+
+        store_dir = str(tmp_path / "store")
+        self.warm(store_dir)
+        capsys.readouterr()
+        assert main(["store", "stats", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "store: dir:" in out and "result:" in out and "total:" in out
+        assert main(["store", "stats", "--store-dir", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"]["result"] >= 1
+        assert payload["total_bytes"] > 0
+
+    def test_store_gc_dry_run_then_real(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        self.warm(str(store_dir))
+        capsys.readouterr()
+        shard = next(p for p in store_dir.iterdir() if p.is_dir())
+        torn = shard / ".tmp-crashed.json"
+        torn.write_text("{ torn")
+        assert main(["store", "gc", "--store-dir", str(store_dir), "--dry-run"]) == 0
+        assert "would remove 1 item(s)" in capsys.readouterr().out
+        assert torn.exists()
+        assert main(["store", "gc", "--store-dir", str(store_dir)]) == 0
+        assert "removed 1 item(s)" in capsys.readouterr().out
+        assert not torn.exists()
+
+    def test_store_migrate_then_sqlite_resume(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self.warm(store_dir)  # grown through the plain dir backend
+        capsys.readouterr()
+        assert main(["store", "migrate", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out and "0 entr" not in out
+        # The migrated index answers a warm sqlite-backed campaign.
+        args = [
+            "campaign", "F6", "--apps", "gzip", "--n", "3000",
+            "--store-dir", store_dir, "--backend", "sqlite", "--quiet",
+        ]
+        assert main(args) == 0
+        assert "0 simulation(s) run" in capsys.readouterr().err
+
+    def test_store_migrate_rejects_urls(self, capsys):
+        assert main(["store", "migrate", "--store-dir", "http://x:1"]) == 2
+        assert "local store" in capsys.readouterr().err
+
+
+class TestStreamingFlag:
+    def test_campaign_stream_matches_serial(self, capsys, tmp_path):
+        base = ["campaign", "F6", "--apps", "gzip", "--n", "3000", "--quiet"]
+        assert main(base + ["--store-dir", str(tmp_path / "a")]) == 0
+        serial = capsys.readouterr().out
+        stream = base + [
+            "--store-dir", str(tmp_path / "b"), "--jobs", "2", "--stream",
+        ]
+        assert main(stream) == 0
+        assert capsys.readouterr().out == serial
+        assert main(stream) == 0
+        warm = capsys.readouterr()
+        assert warm.out == serial
+        assert "0 simulation(s) run" in warm.err
